@@ -1,0 +1,56 @@
+"""Shared machinery for the figure-reproduction benchmarks.
+
+Each benchmark file regenerates one table/figure of the paper via the
+experiment registry, at a scale controlled by the ``REPRO_BENCH_SCALE``
+environment variable (default ``"small"``; set ``tiny`` for a fast smoke
+pass or ``medium`` for cleaner curves).
+
+Every run's full ASCII report is saved under ``results/`` so the numbers
+cited in EXPERIMENTS.md can be regenerated with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.figures import run_experiment
+from repro.experiments.report import render_result
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def bench_scale() -> str:
+    """Benchmark scale preset from the environment."""
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Run one registered experiment under pytest-benchmark, save report."""
+
+    def runner(experiment_id: str, seed: int = 0):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": bench_scale(), "seed": seed},
+            rounds=1,
+            iterations=1,
+        )
+        report = render_result(result)
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{experiment_id}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print()
+        print(report)
+        return result
+
+    return runner
+
+
+def threshold_time(result, series_key):
+    """time_to_rmse helper reading a series by label."""
+    return result.series[series_key]

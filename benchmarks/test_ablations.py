@@ -1,0 +1,56 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* jitter — isolates the curse of the last reducer (§4.1): DSGD degrades
+  with compute noise, NOMAD does not.
+* hybrid — intra-machine circulation (§3.4) cuts network traffic per
+  useful update by ~the core count.
+* balance — dynamic load balancing (§3.3) beats uniform routing when one
+  machine is a straggler.
+"""
+
+from __future__ import annotations
+
+_NETFLIX_THRESHOLD = 0.30
+
+
+def test_ablation_jitter(run_figure):
+    result = run_figure("ablation_jitter")
+
+    def time_to(jitter, algo):
+        return result.series[f"jitter={jitter}/{algo}"].time_to_rmse(
+            _NETFLIX_THRESHOLD
+        )
+
+    # Both algorithms converge on the ideal cluster.
+    assert time_to(0.0, "NOMAD") is not None
+    assert time_to(0.0, "DSGD") is not None
+
+    # DSGD's slowdown from jitter exceeds NOMAD's (relative to their own
+    # jitter-free runs).
+    nomad_ratio = time_to(0.6, "NOMAD") / time_to(0.0, "NOMAD")
+    dsgd_ratio = time_to(0.6, "DSGD") / time_to(0.0, "DSGD")
+    assert dsgd_ratio > nomad_ratio
+
+
+def test_ablation_hybrid(run_figure):
+    result = run_figure("ablation_hybrid")
+    rows = {row["circulate"]: row for row in result.tables["comparison"]}
+    # Circulation multiplies useful work per network hop.
+    assert (
+        rows[True]["updates_per_network_hop"]
+        > 2 * rows[False]["updates_per_network_hop"]
+    )
+    # Both configurations converge.
+    for flag in (True, False):
+        trace = result.series[f"circulate={flag}"]
+        assert trace.final_rmse() < trace.records[0].rmse
+
+
+def test_ablation_balance(run_figure):
+    result = run_figure("ablation_balance")
+    uniform = result.series["uniform"]
+    balanced = result.series["least-queue"]
+    # Load balancing routes work away from the straggler: more updates in
+    # the same window and no worse a final solution.
+    assert balanced.total_updates() >= uniform.total_updates()
+    assert balanced.final_rmse() <= uniform.final_rmse() * 1.1

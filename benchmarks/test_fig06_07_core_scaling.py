@@ -1,0 +1,33 @@
+"""Figures 6-7: NOMAD core scaling on one machine.
+
+Paper shape: average throughput per core stays roughly flat as cores grow
+(near-linear scaling, §5.2), and on Yahoo! Music convergence per *update*
+improves with more cores (smaller blocks mean fresher item parameters).
+"""
+
+from __future__ import annotations
+
+
+def test_fig06_07(run_figure):
+    result = run_figure("fig06_07")
+
+    for dataset in ("netflix", "yahoo", "hugewiki"):
+        throughput = {
+            row["config"]: row["updates_per_worker_per_sec"]
+            for row in result.tables[f"throughput_{dataset}"]
+        }
+        # Near-linear scaling: per-worker throughput within a 4x band
+        # across 2 -> 8 cores (the paper sees ~2x degradation at worst).
+        values = list(throughput.values())
+        assert max(values) < 4 * min(values), dataset
+
+        # Total work grows with cores.
+        totals = {
+            cores: result.series[f"{dataset}/cores={cores}"].total_updates()
+            for cores in (2, 4, 8)
+        }
+        assert totals[8] > totals[2] * 1.8, dataset
+
+    # Everything converges at every core count.
+    for label, trace in result.series.items():
+        assert trace.final_rmse() < trace.records[0].rmse, label

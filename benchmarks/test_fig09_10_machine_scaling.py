@@ -1,0 +1,35 @@
+"""Figures 9-10: NOMAD as a fixed dataset spreads over more machines.
+
+Paper shape: near-linear scaling on Netflix and Hugewiki; on Yahoo! Music
+per-worker throughput degrades as machines grow (items have too few local
+ratings to amortize the hop), §5.3.
+"""
+
+from __future__ import annotations
+
+
+def test_fig09_10(run_figure):
+    result = run_figure("fig09_10")
+
+    # Total throughput grows with machines on the compute-bound datasets.
+    for dataset in ("netflix", "hugewiki"):
+        totals = {
+            machines: result.series[
+                f"{dataset}/machines={machines}"
+            ].total_updates()
+            for machines in (1, 2, 4, 8)
+        }
+        assert totals[8] > 3 * totals[1], dataset
+        assert totals[4] > 1.5 * totals[1], dataset
+
+    # Yahoo: per-worker throughput at 8 machines is visibly below the
+    # single-machine figure (communication-bound regime).
+    yahoo = {
+        row["config"]: row["updates_per_worker_per_sec"]
+        for row in result.tables["throughput_yahoo"]
+    }
+    assert yahoo[8] < yahoo[1]
+
+    # Convergence everywhere.
+    for label, trace in result.series.items():
+        assert trace.final_rmse() < trace.records[0].rmse, label

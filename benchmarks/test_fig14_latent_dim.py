@@ -1,0 +1,23 @@
+"""Figure 14 (Appendix B): NOMAD across latent dimensions.
+
+Scaled shape: the surrogate plants rank-4 truth, so k=2 underfits (elevated
+floor) while k >= 4 reaches the noise floor; larger k costs more per update
+so per-second convergence slows — the capacity/cost trade-off of the paper.
+"""
+
+from __future__ import annotations
+
+
+def test_fig14(run_figure):
+    result = run_figure("fig14")
+    floors = {row["k"]: row["best_rmse"] for row in result.tables["dimension"]}
+
+    # k=2 underfits the rank-4 planted truth.
+    assert floors[2] > 1.5 * floors[8]
+    # Sufficient capacity reaches a similar floor for k in {4, 8, 16}.
+    assert floors[4] < 0.5
+    assert floors[8] < 0.5
+
+    # Cost scales with k: fewer updates fit in the same window at k=16.
+    updates = {row["k"]: row["updates"] for row in result.tables["dimension"]}
+    assert updates[16] < updates[4]

@@ -1,0 +1,30 @@
+"""Figures 15-17 (Appendix C): NOMAD machine scaling on commodity hardware.
+
+Paper shape: same pattern as the HPC scaling (Figs 9-10) but on the slow
+network — linear-ish on Netflix/Hugewiki, degraded per-worker throughput on
+Yahoo! Music.
+"""
+
+from __future__ import annotations
+
+
+def test_fig15_17(run_figure):
+    result = run_figure("fig15_17")
+
+    for dataset in ("netflix", "hugewiki"):
+        totals = {
+            machines: result.series[
+                f"{dataset}/machines={machines}"
+            ].total_updates()
+            for machines in (1, 2, 4, 8)
+        }
+        assert totals[8] > 3 * totals[1], dataset
+
+    yahoo = {
+        row["config"]: row["updates_per_worker_per_sec"]
+        for row in result.tables["throughput_yahoo"]
+    }
+    assert yahoo[8] < yahoo[1]
+
+    for label, trace in result.series.items():
+        assert trace.final_rmse() < trace.records[0].rmse, label

@@ -1,0 +1,36 @@
+"""Figure 20 (Appendix E): NOMAD vs DSGD vs CCD++ across the lambda grid.
+
+Paper shape: the SGD methods (NOMAD, DSGD) behave similarly as lambda
+varies; CCD++'s greedy strategy overfits at small lambda; NOMAD stays
+competitive with the better of the other two at every lambda.
+"""
+
+from __future__ import annotations
+
+_THRESHOLD = 0.30
+
+
+def test_fig20(run_figure):
+    result = run_figure("fig20")
+    for lambda_ in (0.0025, 0.01, 0.04):
+        nomad = result.series[f"lambda={lambda_}/NOMAD"]
+        dsgd = result.series[f"lambda={lambda_}/DSGD"]
+        ccd = result.series[f"lambda={lambda_}/CCD++"]
+
+        nomad_time = nomad.time_to_rmse(_THRESHOLD)
+        assert nomad_time is not None, lambda_
+
+        # NOMAD is competitive with the best competitor (within 1.5x).
+        competitor_times = [
+            t
+            for t in (dsgd.time_to_rmse(_THRESHOLD), ccd.time_to_rmse(_THRESHOLD))
+            if t is not None
+        ]
+        if competitor_times:
+            assert nomad_time <= 1.5 * min(competitor_times), lambda_
+
+    # At the largest lambda the problem is over-regularized for everyone:
+    # just require NOMAD's best RMSE to be no worse than DSGD's by >10%.
+    heavy_nomad = result.series["lambda=0.16/NOMAD"].best_rmse()
+    heavy_dsgd = result.series["lambda=0.16/DSGD"].best_rmse()
+    assert heavy_nomad <= heavy_dsgd * 1.1

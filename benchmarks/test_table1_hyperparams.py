@@ -1,0 +1,17 @@
+"""Table 1: hyperparameters per dataset (paper values + surrogate tuning)."""
+
+from __future__ import annotations
+
+
+def test_table1(run_figure):
+    result = run_figure("table1")
+    rows = result.tables["hyperparameters"]
+    assert {row["dataset"] for row in rows} == {"netflix", "yahoo", "hugewiki"}
+    netflix = next(row for row in rows if row["dataset"] == "netflix")
+    # The paper's published Netflix setting (Table 1).
+    assert netflix["paper_k"] == 100
+    assert netflix["paper_lambda"] == 0.05
+    assert netflix["paper_alpha"] == 0.012
+    assert netflix["paper_beta"] == 0.05
+    hugewiki = next(row for row in rows if row["dataset"] == "hugewiki")
+    assert hugewiki["paper_beta"] == 0.0

@@ -1,0 +1,25 @@
+"""Table 2: dataset statistics — paper scale and measured surrogates."""
+
+from __future__ import annotations
+
+
+def test_table2(run_figure):
+    result = run_figure("table2")
+    declared = {row["name"]: row for row in result.tables["declared"]}
+    # Paper's Table 2 entries, verbatim.
+    assert declared["netflix"]["paper_nnz"] == 99_072_112
+    assert declared["yahoo"]["paper_nnz"] == 252_800_275
+    assert declared["hugewiki"]["paper_nnz"] == 2_736_496_604
+
+    measured = {row["dataset"]: row for row in result.tables["measured"]}
+    # Shape preservation: ratings-per-item ordering yahoo << netflix << hugewiki.
+    assert (
+        measured["yahoo"]["ratings_per_item"]
+        < measured["netflix"]["ratings_per_item"]
+        < measured["hugewiki"]["ratings_per_item"]
+    )
+    # Generated surrogates land near their declared statistics.
+    for name in ("netflix", "yahoo", "hugewiki"):
+        expected = declared[name]["surrogate_nnz"]
+        actual = measured[name]["nnz"]
+        assert abs(actual - expected) / expected < 0.1

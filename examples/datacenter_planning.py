@@ -1,0 +1,81 @@
+"""Capacity planning for a data-center deployment of NOMAD.
+
+The paper's motivation (§1) is running matrix completion "on commodity
+hardware with limited computing power, memory, and interconnect speed, such
+as the ones found in data centers".  This example uses the simulator the
+way an SRE would: sweep cluster sizes and network qualities, then report
+time-to-accuracy and parallel efficiency so the right deployment can be
+picked *before* renting the machines.
+
+Run with::
+
+    python examples/datacenter_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    COMMODITY_PROFILE,
+    Cluster,
+    HPC_PROFILE,
+    NomadSimulation,
+    RunConfig,
+    build_dataset,
+)
+from repro.metrics.summary import speedup_efficiency
+
+TARGET_RMSE = 0.30
+
+
+def sweep(train, test, hyper, network, jitter, label):
+    print(f"--- {label} ---")
+    traces = {}
+    # Start at 2 machines: the speedup baseline must itself converge
+    # within the window.
+    for machines in (2, 4, 8, 16):
+        cluster = Cluster(machines, 2, network, jitter=jitter)
+        run = RunConfig(duration=0.08, eval_interval=0.004, seed=1)
+        trace = NomadSimulation(train, test, cluster, hyper, run).run()
+        traces[machines] = trace
+    rows = speedup_efficiency(traces, TARGET_RMSE)
+    header = f"{'machines':>9} {'t(RMSE<=%.2f)' % TARGET_RMSE:>15} {'speedup':>8} {'efficiency':>11}"
+    print(header)
+    for row in rows:
+        reached = row["time_to_threshold"]
+        reached_text = "never" if reached is None else f"{reached * 1e3:.2f} ms"
+        speedup = "-" if row["speedup"] is None else f"{row['speedup']:.2f}x"
+        efficiency = (
+            "-" if row["efficiency"] is None else f"{row['efficiency']:.0%}"
+        )
+        print(f"{row['workers']:>9} {reached_text:>15} {speedup:>8} {efficiency:>11}")
+    print()
+    return rows
+
+
+def main() -> None:
+    profile, train, test = build_dataset("netflix", seed=1)
+    print(f"workload: netflix surrogate, {train.nnz:,} training ratings\n")
+
+    hpc = sweep(train, test, profile.hyper, HPC_PROFILE, 0.2,
+                "InfiniBand-class cluster (HPC)")
+    commodity = sweep(train, test, profile.hyper, COMMODITY_PROFILE, 0.3,
+                      "1 Gb/s commodity cluster (data center)")
+
+    # A simple planning read-out: the largest size that keeps >= 60%
+    # parallel efficiency on each network.
+    def knee(rows):
+        viable = [
+            row["workers"]
+            for row in rows
+            if row["efficiency"] is not None and row["efficiency"] >= 0.6
+        ]
+        return max(viable) if viable else 1
+
+    print("recommendation: scale to "
+          f"{knee(hpc)} machines on HPC interconnect, "
+          f"{knee(commodity)} machines on commodity Ethernet "
+          "(>=60% parallel efficiency)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""A movie recommender built on the NOMAD-trained model.
+
+The motivating application of the paper's introduction: predict the
+unobserved entries of a user x item rating matrix and recommend the
+highest-predicted unseen items.  This example
+
+1. generates a Netflix-like catalogue with heavy-tailed user activity
+   (the §5.5 generator),
+2. trains factors with NOMAD on a simulated cluster,
+3. produces top-5 recommendations for a few users and sanity-checks them
+   against the planted ground truth.
+
+Run with::
+
+    python examples/movie_recommender.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Cluster,
+    HPC_PROFILE,
+    HyperParams,
+    NomadSimulation,
+    RunConfig,
+    RngFactory,
+    make_netflix_like,
+    train_test_split,
+)
+
+
+def recommend(factors, train, user, top_n=5):
+    """Top-N unseen items for ``user`` by predicted rating."""
+    seen, _ = train.items_of_user(user)
+    scores = factors.h @ factors.w[user]
+    scores[seen] = -np.inf
+    best = np.argsort(scores)[::-1][:top_n]
+    return [(int(item), float(scores[item])) for item in best]
+
+
+def main() -> None:
+    rng = RngFactory(42)
+    catalogue = make_netflix_like(
+        n_users=1500,
+        n_items=300,
+        mean_ratings_per_user=30.0,
+        rng=rng.stream("catalogue"),
+        rank=6,
+        noise=0.1,
+    )
+    train, test = train_test_split(catalogue, 0.2, rng.stream("split"))
+    print(f"catalogue: {catalogue.n_rows} users x {catalogue.n_cols} movies, "
+          f"{catalogue.nnz} ratings "
+          f"(most active user rated {int(catalogue.row_counts().max())})")
+
+    hyper = HyperParams(k=8, lambda_=0.01, alpha=0.1, beta=0.01)
+    cluster = Cluster(2, 4, HPC_PROFILE, jitter=0.2)
+    run = RunConfig(duration=0.15, eval_interval=0.03, seed=42)
+    simulation = NomadSimulation(train, test, cluster, hyper, run)
+    trace = simulation.run()
+    print(f"trained: test RMSE {trace.final_rmse():.4f} after "
+          f"{trace.total_updates():,} updates\n")
+
+    factors = simulation.factors
+    for user in (0, 7, 99):
+        n_rated = int(train.row_counts()[user])
+        print(f"user {user} (rated {n_rated} movies) — top recommendations:")
+        for item, score in recommend(factors, train, user):
+            print(f"    movie {item:4d}  predicted rating {score:+.2f}")
+        # Sanity: held-out ratings of this user should be predicted well.
+        mask = test.rows == user
+        if mask.any():
+            predictions = np.einsum(
+                "ij,ij->i", factors.w[test.rows[mask]], factors.h[test.cols[mask]]
+            )
+            error = float(np.sqrt(np.mean((test.vals[mask] - predictions) ** 2)))
+            print(f"    (held-out RMSE for this user: {error:.3f})")
+        print()
+
+
+if __name__ == "__main__":
+    main()

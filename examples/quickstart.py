@@ -1,0 +1,51 @@
+"""Quickstart: fit a matrix-completion model with NOMAD in ~20 lines.
+
+Generates the scaled Netflix surrogate, runs NOMAD on a simulated
+4-machine HPC cluster, and prints the convergence trace.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Cluster,
+    HPC_PROFILE,
+    NomadSimulation,
+    RunConfig,
+    build_dataset,
+)
+
+
+def main() -> None:
+    # 1. Data: the scaled Netflix-shaped surrogate with a fixed 80/20 split.
+    profile, train, test = build_dataset("netflix", seed=0)
+    print(f"dataset: {train.n_rows} users x {train.n_cols} items, "
+          f"{train.nnz} train / {test.nnz} test ratings")
+
+    # 2. A simulated cluster: 4 machines x 2 cores on an InfiniBand-class
+    #    network.  Simulated time is deterministic and seed-reproducible.
+    cluster = Cluster(4, 2, HPC_PROFILE, jitter=0.2)
+
+    # 3. Run NOMAD with the surrogate's tuned hyperparameters.
+    run = RunConfig(duration=0.10, eval_interval=0.01, seed=0)
+    simulation = NomadSimulation(train, test, cluster, profile.hyper, run)
+    trace = simulation.run()
+
+    # 4. Inspect the convergence curve.
+    print(f"\n{'sim time':>10} {'updates':>10} {'test RMSE':>10}")
+    for record in trace.records:
+        print(f"{record.time:>10.3f} {record.updates:>10} {record.rmse:>10.4f}")
+
+    print(f"\nfinal test RMSE: {trace.final_rmse():.4f} "
+          f"(noise floor of the planted data is ~{profile.noise})")
+    print(f"throughput: {trace.throughput_per_worker():,.0f} "
+          f"updates/worker/simulated-second")
+    print(f"network hops: {simulation.network_hops:,}, "
+          f"local hops: {simulation.local_hops:,}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""NOMAD on real threads and real processes (the GIL story).
+
+The simulator answers scaling questions; this example runs the actual
+protocol on live concurrency primitives:
+
+* ``ThreadedNomad`` — real threads + queues.  CPython's GIL serializes the
+  numerics, so adding threads adds little throughput; the value is that the
+  owner-computes protocol (zero locks on parameters) runs verbatim.
+* ``MultiprocessNomad`` — worker processes over shared-memory factors,
+  the standard CPython workaround.  Parallelism is real; the protocol is
+  identical.
+
+Run with::
+
+    python examples/true_parallelism.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    HyperParams,
+    MultiprocessNomad,
+    RngFactory,
+    SyntheticSpec,
+    ThreadedNomad,
+    make_low_rank,
+    train_test_split,
+)
+
+HYPER = HyperParams(k=8, lambda_=0.01, alpha=0.1, beta=0.005)
+DURATION = 1.5  # seconds of real wall time per run
+
+
+def main() -> None:
+    rng = RngFactory(9)
+    full = make_low_rank(
+        SyntheticSpec(n_rows=800, n_cols=200, rank=4, density=0.12),
+        rng.stream("data"),
+    )
+    train, test = train_test_split(full, 0.2, rng.stream("split"))
+    print(f"dataset: {train.nnz:,} training ratings\n")
+
+    print(f"{'runtime':>22} {'workers':>8} {'updates':>10} "
+          f"{'upd/s':>10} {'RMSE':>7}")
+    for n_workers in (1, 2, 4):
+        result = ThreadedNomad(
+            train, test, n_workers, HYPER, seed=1
+        ).run(duration_seconds=DURATION)
+        rate = result.updates / result.wall_seconds
+        print(f"{'threads (GIL-bound)':>22} {n_workers:>8} "
+              f"{result.updates:>10,} {rate:>10,.0f} {result.rmse:>7.3f}")
+
+    for n_workers in (1, 2, 4):
+        result = MultiprocessNomad(
+            train, test, n_workers, HYPER, seed=1
+        ).run(duration_seconds=DURATION)
+        rate = result.updates / result.wall_seconds
+        print(f"{'processes (shared mem)':>22} {n_workers:>8} "
+              f"{result.updates:>10,} {rate:>10,.0f} {result.rmse:>7.3f}")
+
+    print("\nreading: threads can never exceed one core's arithmetic "
+          "throughput — the GIL\nserializes the float math (adding threads "
+          "usually *hurts*, via contention).\nProcesses own their cores, so "
+          "they can scale — provided each token carries\nenough local work "
+          "to amortize the multiprocessing queue hop (grow the dataset\nor "
+          "k to see it; tiny workloads are queue-bound).  Either way the "
+          "protocol is\nidentical and no parameter ever takes a lock — "
+          "scaling limits here are\nCPython runtime costs, which is exactly "
+          "why the repository's scaling studies\nrun on the discrete-event "
+          "simulator instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim enabling legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The execution environment has no `wheel` package, so the PEP 517 editable
+route (which must build a wheel) is unavailable; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,172 @@
+"""repro — a reproduction of NOMAD (Yun et al., VLDB 2014).
+
+NOMAD is a non-locking, stochastic, multi-machine, asynchronous and
+decentralized matrix completion algorithm: user factors are partitioned
+once, item factors travel between workers as *nomadic tokens*, and the
+owner-computes rule makes every update conflict-free — hence serializable —
+without a single lock or barrier.
+
+The package provides:
+
+* the NOMAD algorithm itself (:class:`repro.NomadSimulation`) executing on
+  a deterministic discrete-event cluster simulator;
+* every baseline of the paper's evaluation (DSGD, DSGD++, FPSGD**, CCD++,
+  ALS, a GraphLab-style lock-server ALS, Hogwild);
+* real thread- and process-based NOMAD runtimes
+  (:class:`repro.ThreadedNomad`, :class:`repro.MultiprocessNomad`);
+* shape-preserving surrogates of the Netflix / Yahoo! Music / Hugewiki
+  datasets, and the synthetic weak-scaling generator of §5.5;
+* an experiment harness regenerating every table and figure
+  (:func:`repro.run_experiment`).
+
+Quickstart::
+
+    from repro import (HyperParams, RunConfig, NomadSimulation,
+                       Cluster, HPC_PROFILE, build_dataset)
+
+    profile, train, test = build_dataset("netflix", seed=0)
+    cluster = Cluster(4, 2, HPC_PROFILE)
+    sim = NomadSimulation(train, test, cluster, profile.hyper,
+                          RunConfig(duration=0.1, eval_interval=0.01))
+    trace = sim.run()
+    print(trace.final_rmse())
+"""
+
+from .config import HyperParams, RunConfig
+from .core.load_balance import (
+    LeastQueuePolicy,
+    PowerOfTwoPolicy,
+    RecipientPolicy,
+    UniformPolicy,
+)
+from .core.nomad import NomadOptions, NomadSimulation
+from .core.serializability import (
+    UpdateEvent,
+    conflict_graph,
+    is_serializable,
+    serial_order,
+)
+from .baselines import (
+    ALSSimulation,
+    CCDPlusPlusSimulation,
+    DSGDPlusPlusSimulation,
+    DSGDSimulation,
+    FPSGDSimulation,
+    GraphLabALSSimulation,
+    HogwildSimulation,
+    SerialSGD,
+)
+from .datasets import (
+    RatingMatrix,
+    SyntheticSpec,
+    load_profile,
+    make_low_rank,
+    make_netflix_like,
+    train_test_split,
+)
+from .errors import (
+    ConfigError,
+    DataError,
+    ExperimentError,
+    ReproError,
+    SimulationError,
+)
+from .experiments import (
+    EXPERIMENT_REGISTRY,
+    ExperimentResult,
+    build_dataset,
+    render_result,
+    run_experiment,
+)
+from .linalg import FactorPair, init_factors, test_rmse, regularized_objective
+from .linalg.losses import AbsoluteLoss, HuberLoss, Loss, SquaredLoss
+from .model import CompletionModel
+from .rng import RngFactory
+from .runtime import MultiprocessNomad, ThreadedNomad
+from .schedules import BoldDriver, ConstantSchedule, NomadSchedule
+from .simulator import (
+    COMMODITY_PROFILE,
+    Cluster,
+    HardwareProfile,
+    HPC_PROFILE,
+    NetworkModel,
+    PAPER_HARDWARE,
+    Simulator,
+    Trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "HyperParams",
+    "RunConfig",
+    # core algorithm
+    "NomadSimulation",
+    "NomadOptions",
+    "RecipientPolicy",
+    "UniformPolicy",
+    "LeastQueuePolicy",
+    "PowerOfTwoPolicy",
+    # serializability
+    "UpdateEvent",
+    "conflict_graph",
+    "is_serializable",
+    "serial_order",
+    # baselines
+    "SerialSGD",
+    "DSGDSimulation",
+    "DSGDPlusPlusSimulation",
+    "FPSGDSimulation",
+    "CCDPlusPlusSimulation",
+    "ALSSimulation",
+    "GraphLabALSSimulation",
+    "HogwildSimulation",
+    # runtimes
+    "ThreadedNomad",
+    "MultiprocessNomad",
+    # datasets
+    "RatingMatrix",
+    "SyntheticSpec",
+    "make_low_rank",
+    "make_netflix_like",
+    "train_test_split",
+    "load_profile",
+    # numerics
+    "FactorPair",
+    "init_factors",
+    "test_rmse",
+    "regularized_objective",
+    "Loss",
+    "SquaredLoss",
+    "AbsoluteLoss",
+    "HuberLoss",
+    "CompletionModel",
+    # schedules
+    "NomadSchedule",
+    "ConstantSchedule",
+    "BoldDriver",
+    # simulator
+    "Simulator",
+    "Cluster",
+    "HardwareProfile",
+    "PAPER_HARDWARE",
+    "NetworkModel",
+    "HPC_PROFILE",
+    "COMMODITY_PROFILE",
+    "Trace",
+    # experiments
+    "ExperimentResult",
+    "EXPERIMENT_REGISTRY",
+    "build_dataset",
+    "run_experiment",
+    "render_result",
+    # rng / errors
+    "RngFactory",
+    "ReproError",
+    "ConfigError",
+    "DataError",
+    "SimulationError",
+    "ExperimentError",
+]

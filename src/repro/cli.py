@@ -1,0 +1,88 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Usage::
+
+    repro-nomad list
+    repro-nomad run --experiment fig08 --scale small --seed 0
+    repro-nomad run --experiment fig08 --outdir results/
+
+``run`` prints the ASCII report to stdout and optionally writes every
+series/table as CSV under ``--outdir``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .experiments.figures import EXPERIMENT_REGISTRY, run_experiment
+from .experiments.report import render_result, result_to_csv_dir
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-nomad",
+        description=(
+            "Reproduction of NOMAD (Yun et al., VLDB 2014): run any table "
+            "or figure of the paper's evaluation on the simulated cluster."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list available experiments")
+
+    run_cmd = commands.add_parser("run", help="run one experiment")
+    run_cmd.add_argument(
+        "--experiment",
+        required=True,
+        choices=sorted(EXPERIMENT_REGISTRY),
+        help="experiment id (see 'list')",
+    )
+    run_cmd.add_argument(
+        "--scale",
+        default="small",
+        choices=("tiny", "small", "medium"),
+        help="duration preset (default: small)",
+    )
+    run_cmd.add_argument(
+        "--seed", type=int, default=0, help="root random seed (default: 0)"
+    )
+    run_cmd.add_argument(
+        "--outdir",
+        default=None,
+        help="optional directory for CSV export of all series and tables",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        if args.command == "list":
+            for experiment_id in sorted(EXPERIMENT_REGISTRY):
+                driver = EXPERIMENT_REGISTRY[experiment_id]
+                first_line = (driver.__doc__ or "").strip().splitlines()[0]
+                print(f"{experiment_id:18s} {first_line}")
+            return 0
+
+        result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
+        sys.stdout.write(render_result(result))
+        if args.outdir:
+            written = result_to_csv_dir(result, args.outdir)
+            print(f"wrote {len(written)} CSV files to {args.outdir}")
+        return 0
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like any
+        # well-behaved CLI.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,455 @@
+"""The NOMAD algorithm on the discrete-event cluster simulator.
+
+This is a faithful implementation of Algorithm 1 plus the refinements of
+§3.3 (dynamic load balancing) and §3.4 (hybrid architecture):
+
+* User rows ``w_i`` are partitioned once across workers and never move.
+* Item rows ``h_j`` are nomadic tokens.  A worker pops a token from its
+  queue, runs the sequential SGD updates over its local ratings of that
+  item (``Ω̄^(q)_j``), then forwards the token — to the next thread of its
+  machine while the intra-machine circulation of §3.4 is unfinished,
+  otherwise over the network to a machine chosen by the recipient policy.
+* Sends are non-blocking (the paper dedicates communication threads per
+  machine); a worker continues with its next queued token immediately.
+* The step size follows equation (11) with per-rating update counters.
+
+Because each ``w_i`` is only ever touched by its owning worker and each
+``h_j`` only by the worker currently holding its token, updates are
+conflict-free and the execution is serializable; the optional update log
+feeds :mod:`repro.core.serializability`, which verifies exactly that.
+
+Implementation note.  Factors are held as Python lists of per-row lists and
+updated by the fast scalar kernels of :mod:`repro.linalg.kernels`; at small
+latent dimensions this is ~5× faster than ndarray row arithmetic.  The
+:attr:`NomadSimulation.factors` property materializes a
+:class:`~repro.linalg.factors.FactorPair` view on demand (evaluation,
+post-run inspection).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import HyperParams, RunConfig
+from ..datasets.ratings import RatingMatrix
+from ..errors import ConfigError, SimulationError
+from ..linalg.factors import FactorPair, init_factors
+from ..linalg.kernels import sgd_process_column_fast, sgd_process_column_loss_fast
+from ..linalg.losses import Loss, SquaredLoss
+from ..linalg.objective import test_rmse
+from ..partition.assignments import OwnershipLedger
+from ..partition.partitioners import (
+    partition_rows_equal_count,
+    partition_rows_equal_ratings,
+)
+from ..rng import RngFactory
+from ..simulator.cluster import Cluster
+from ..simulator.engine import Simulator
+from ..simulator.trace import Trace
+from .load_balance import RecipientPolicy, UniformPolicy
+from .serializability import UpdateEvent
+from .tokens import ItemToken
+
+__all__ = ["NomadOptions", "NomadSimulation"]
+
+# Queue-handling overhead of a token that carries no local ratings,
+# expressed as a fraction of one SGD update's cost.  Pop + route + push is
+# much cheaper than an update but not free.
+_TOKEN_HANDLING_FRACTION = 0.25
+
+
+@dataclass
+class NomadOptions:
+    """Behavioural switches of the NOMAD run.
+
+    Attributes
+    ----------
+    policy:
+        Recipient-selection policy (default: Algorithm 1's uniform choice).
+    partition:
+        ``"rows"`` for equal row counts, ``"ratings"`` for the footnote-1
+        alternative of equal rating counts.
+    circulate:
+        Enable the hybrid intra-machine circulation of §3.4.  Disabling it
+        makes every hop a network hop (the basic Algorithm 1), which is the
+        ablation showing why the hybrid rule matters on slow networks.
+    record_updates:
+        Keep a full log of (worker, i, j, count) update events for
+        serializability analysis.  Memory-heavy; tests only.
+    loss:
+        Separable per-entry loss.  ``None`` (default) selects the paper's
+        square loss via the specialized fast kernel; any other
+        :class:`~repro.linalg.losses.Loss` (absolute, Huber, ...) runs
+        through the generic kernel — the §6 extension of NOMAD to arbitrary
+        ``Σ f_ij(w_i, h_j)`` objectives.
+    """
+
+    policy: RecipientPolicy = field(default_factory=UniformPolicy)
+    partition: str = "ratings"
+    circulate: bool = True
+    record_updates: bool = False
+    loss: Loss | None = None
+
+    def __post_init__(self) -> None:
+        if self.partition not in ("rows", "ratings"):
+            raise ConfigError(
+                f"partition must be 'rows' or 'ratings', got {self.partition!r}"
+            )
+        if self.loss is not None and isinstance(self.loss, SquaredLoss):
+            # Normalize: explicit SquaredLoss means the default fast path.
+            self.loss = None
+
+
+class NomadSimulation:
+    """One NOMAD run over a simulated cluster.
+
+    Parameters
+    ----------
+    train, test:
+        Rating matrices over the same shape.
+    cluster:
+        Simulated topology and cost model.
+    hyper:
+        Model hyperparameters (k, λ, α, β).
+    run:
+        Execution parameters (duration, eval cadence, seed).
+    options:
+        Behavioural switches; see :class:`NomadOptions`.
+    factors:
+        Optional externally initialized factors (the harness passes the
+        same initialization to every algorithm, as §5.1 prescribes).
+
+    Examples
+    --------
+    >>> from repro.datasets import SyntheticSpec, make_low_rank, train_test_split
+    >>> from repro.simulator import Cluster, HPC_PROFILE
+    >>> from repro.rng import RngFactory
+    >>> from repro.config import HyperParams, RunConfig
+    >>> rng = RngFactory(0)
+    >>> full = make_low_rank(SyntheticSpec(80, 40, rank=2, density=0.2),
+    ...                      rng.stream("data"))
+    >>> train, test = train_test_split(full, 0.2, rng.stream("split"))
+    >>> cluster = Cluster(1, 2, HPC_PROFILE)
+    >>> sim = NomadSimulation(train, test, cluster,
+    ...                       HyperParams(k=4, lambda_=0.01, alpha=0.05),
+    ...                       RunConfig(duration=0.005, eval_interval=0.001))
+    >>> trace = sim.run()
+    >>> trace.final_rmse() < trace.records[0].rmse
+    True
+    """
+
+    def __init__(
+        self,
+        train: RatingMatrix,
+        test: RatingMatrix,
+        cluster: Cluster,
+        hyper: HyperParams,
+        run: RunConfig,
+        options: NomadOptions | None = None,
+        factors: FactorPair | None = None,
+    ):
+        if train.shape != test.shape:
+            raise ConfigError(
+                f"train/test shapes disagree: {train.shape} vs {test.shape}"
+            )
+        self.train = train
+        self.test = test
+        self.cluster = cluster
+        self.hyper = hyper
+        self.run_config = run
+        self.options = options if options is not None else NomadOptions()
+
+        self._rng_factory = RngFactory(run.seed)
+        self._routing_rng = self._rng_factory.pyrandom("nomad-routing")
+        self._jitter_rng = self._rng_factory.pyrandom("nomad-jitter")
+
+        if factors is None:
+            factors = init_factors(
+                train.n_rows, train.n_cols, hyper.k, self._rng_factory.stream("init")
+            )
+        if factors.n_rows != train.n_rows or factors.n_cols != train.n_cols:
+            raise ConfigError("factor shapes do not match the rating matrix")
+        if factors.k != hyper.k:
+            raise ConfigError(
+                f"factor dimension {factors.k} != hyper.k {hyper.k}"
+            )
+        # Fast-kernel representation: per-row Python lists, mutated in place.
+        self._w_rows: list[list[float]] = factors.w.tolist()
+        self._h_rows: list[list[float]] = factors.h.tolist()
+
+        p = cluster.n_workers
+        if self.options.partition == "rows":
+            self._partition = partition_rows_equal_count(train.n_rows, p)
+        else:
+            self._partition = partition_rows_equal_ratings(train, p)
+        shards = train.shard_by_rows(self._partition)
+        # Per (worker, item): user-index list, rating list, counter list.
+        self._col_users: list[list[list[int]]] = []
+        self._col_ratings: list[list[list[float]]] = []
+        self._col_counts: list[list[list[int]]] = []
+        for shard in shards:
+            users_per_col: list[list[int]] = []
+            ratings_per_col: list[list[float]] = []
+            counts_per_col: list[list[int]] = []
+            for j in range(train.n_cols):
+                users, ratings = shard.column(j)
+                users_per_col.append(users.tolist())
+                ratings_per_col.append(ratings.tolist())
+                counts_per_col.append([0] * users.size)
+            self._col_users.append(users_per_col)
+            self._col_ratings.append(ratings_per_col)
+            self._col_counts.append(counts_per_col)
+
+        self._queues: list[deque[ItemToken]] = [deque() for _ in range(p)]
+        self._busy = [False] * p
+        self._ledger = OwnershipLedger(train.n_cols, p)
+        self._sim = Simulator()
+        self._total_updates = 0
+        self._network_hops = 0
+        self._local_hops = 0
+        self._halted = False
+        self._trace = Trace(
+            algorithm="NOMAD",
+            n_workers=p,
+            meta={
+                "machines": cluster.n_machines,
+                "cores": cluster.cores_per_machine,
+                "network": cluster.network.name,
+                "k": hyper.k,
+                "lambda": hyper.lambda_,
+            },
+        )
+        self.update_log: list[UpdateEvent] = []
+        self._log_seq = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self) -> Trace:
+        """Execute the simulation and return its convergence trace."""
+        self._seed_queues()
+        for q in range(self.cluster.n_workers):
+            self._wake_worker(q)
+        self._schedule_evaluations()
+        self._sim.run(until=self.run_config.duration)
+        self._record_point(self.run_config.duration)
+        self._ledger.assert_conserved()
+        return self._trace
+
+    @property
+    def factors(self) -> FactorPair:
+        """Materialized (W, H) snapshot of the current model state."""
+        return FactorPair(np.asarray(self._w_rows), np.asarray(self._h_rows))
+
+    @property
+    def total_updates(self) -> int:
+        """SGD updates applied so far."""
+        return self._total_updates
+
+    @property
+    def network_hops(self) -> int:
+        """Inter-machine token transfers so far (the §3.2 communication)."""
+        return self._network_hops
+
+    @property
+    def local_hops(self) -> int:
+        """Intra-machine token transfers so far (hybrid circulation)."""
+        return self._local_hops
+
+    def queue_sizes(self) -> list[int]:
+        """Current queue length of every worker (diagnostics, tests)."""
+        return [len(queue) for queue in self._queues]
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _seed_queues(self) -> None:
+        """Algorithm 1 lines 7–10: items scattered uniformly at random."""
+        for j in range(self.train.n_cols):
+            q = self._routing_rng.randrange(self.cluster.n_workers)
+            token = ItemToken(item=j, vector=self._h_rows[j])
+            self._queues[q].append(token)
+            self._ledger.acquire(j, q)
+
+    def _schedule_evaluations(self) -> None:
+        interval = self.run_config.eval_interval
+        duration = self.run_config.duration
+        self._record_point(0.0)
+        index = 1
+        # Integer multiples (not accumulation) keep the grid exact; the
+        # final point at `duration` is recorded by run() itself.
+        while index * interval < duration * (1 - 1e-9):
+            time = index * interval
+            self._sim.schedule_at(time, lambda t=time: self._record_point(t))
+            index += 1
+
+    # ------------------------------------------------------------------
+    # Worker event handlers
+    # ------------------------------------------------------------------
+    def _wake_worker(self, q: int) -> None:
+        """Start processing the next queued token, if idle and work exists."""
+        if self._busy[q] or self._halted or not self._queues[q]:
+            return
+        token = self._queues[q].popleft()
+        self._busy[q] = True
+        nnz = len(self._col_users[q][token.item])
+        if nnz:
+            delay = self.cluster.sgd_time(q, self.hyper.k, nnz)
+        else:
+            delay = (
+                self.cluster.sgd_time(q, self.hyper.k, 1)
+                * _TOKEN_HANDLING_FRACTION
+            )
+        # Transient system noise: NOMAD absorbs it (no barriers), so the
+        # mean-1 multiplier only adds variance, never a straggler stall.
+        delay *= self.cluster.jitter_multiplier(self._jitter_rng)
+        self._sim.schedule_after(delay, lambda: self._finish_token(q, token))
+
+    def _finish_token(self, q: int, token: ItemToken) -> None:
+        """Apply the token's SGD updates, forward it, continue working."""
+        j = token.item
+        users = self._col_users[q][j]
+        if users:
+            counts = self._col_counts[q][j]
+            if self.options.record_updates:
+                for offset, user in enumerate(users):
+                    self.update_log.append(
+                        UpdateEvent(
+                            seq=self._log_seq,
+                            worker=q,
+                            row=int(user),
+                            col=j,
+                            count=int(counts[offset]),
+                        )
+                    )
+                    self._log_seq += 1
+            if self.options.loss is None:
+                applied = sgd_process_column_fast(
+                    self._w_rows,
+                    token.vector,
+                    users,
+                    self._col_ratings[q][j],
+                    counts,
+                    self.hyper.alpha,
+                    self.hyper.beta,
+                    self.hyper.lambda_,
+                )
+            else:
+                applied = sgd_process_column_loss_fast(
+                    self._w_rows,
+                    token.vector,
+                    users,
+                    self._col_ratings[q][j],
+                    counts,
+                    self.hyper.alpha,
+                    self.hyper.beta,
+                    self.hyper.lambda_,
+                    self.options.loss,
+                )
+            self._total_updates += applied
+            token.processed += 1
+
+        self._forward_token(q, token)
+        self._busy[q] = False
+        if self._check_update_budget():
+            return
+        self._wake_worker(q)
+
+    def _forward_token(self, q: int, token: ItemToken) -> None:
+        """Route the token to its next owner (Algorithm 1 lines 22–23)."""
+        destination = self._next_destination(q, token)
+        delay = self.cluster.token_delay(q, destination, self.hyper.k)
+        self._ledger.release(token.item, q)
+        token.hops += 1
+        if self.cluster.same_machine(q, destination):
+            self._local_hops += 1
+        else:
+            self._network_hops += 1
+        self._sim.schedule_after(
+            delay, lambda: self._deliver_token(destination, token)
+        )
+
+    def _next_destination(self, q: int, token: ItemToken) -> int:
+        """Hybrid routing of §3.4 on top of the recipient policy.
+
+        While the token still has unvisited threads on the current machine
+        (and circulation is enabled), the next stop is local.  Otherwise the
+        policy picks a machine (uniform by default, least-queue under §3.3
+        dynamic load balancing) and the token enters a fresh random
+        permutation of that machine's workers.
+        """
+        cluster = self.cluster
+        if self.options.circulate and cluster.cores_per_machine > 1:
+            local_next = token.next_local_stop()
+            if local_next is not None:
+                return local_next
+
+        if cluster.n_machines == 1:
+            # Basic single-machine algorithm: uniform worker choice; under
+            # circulation, start a new shuffled tour of all workers.
+            if self.options.circulate and cluster.cores_per_machine > 1:
+                tour = self._machine_tour(0)
+                token.circulation = tour[1:]
+                return tour[0]
+            workers = range(cluster.n_workers)
+            return self.options.policy.choose(
+                workers, lambda w: len(self._queues[w]), self._routing_rng
+            )
+
+        current_machine = cluster.machine_of(q)
+        other_machines = [
+            machine
+            for machine in range(cluster.n_machines)
+            if machine != current_machine
+        ]
+        machine = self.options.policy.choose(
+            other_machines, self._machine_queue_size, self._routing_rng
+        )
+        if self.options.circulate and cluster.cores_per_machine > 1:
+            tour = self._machine_tour(machine)
+            token.circulation = tour[1:]
+            return tour[0]
+        workers = cluster.workers_of_machine(machine)
+        return self.options.policy.choose(
+            workers, lambda w: len(self._queues[w]), self._routing_rng
+        )
+
+    def _machine_tour(self, machine: int) -> list[int]:
+        """A fresh random visiting order of one machine's workers (§3.4)."""
+        workers = self.cluster.workers_of_machine(machine)
+        return self._routing_rng.sample(workers, len(workers))
+
+    def _machine_queue_size(self, machine: int) -> int:
+        """Total queued tokens on a machine (the §3.3 payload summed)."""
+        return sum(
+            len(self._queues[w]) for w in self.cluster.workers_of_machine(machine)
+        )
+
+    def _deliver_token(self, q: int, token: ItemToken) -> None:
+        """Message arrival: enqueue and wake the worker."""
+        self._ledger.acquire(token.item, q)
+        self._queues[q].append(token)
+        if not self._halted:
+            self._wake_worker(q)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _check_update_budget(self) -> bool:
+        maximum = self.run_config.max_updates
+        if maximum is not None and self._total_updates >= maximum and not self._halted:
+            self._halted = True
+        return self._halted
+
+    def _record_point(self, time: float) -> None:
+        if self._trace.records and self._trace.records[-1].time >= time:
+            return
+        rmse = test_rmse(self.factors, self.test)
+        if not np.isfinite(rmse):
+            raise SimulationError(
+                "test RMSE diverged; reduce alpha or increase beta/lambda"
+            )
+        self._trace.add(time, self._total_updates, rmse)

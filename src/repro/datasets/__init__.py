@@ -1,0 +1,41 @@
+"""Dataset substrate: sparse rating matrices, generators, and surrogates.
+
+The paper evaluates on Netflix, Yahoo! Music, and Hugewiki.  Those corpora
+are proprietary or impractically large, so this package provides
+*shape-preserving surrogates* (see ``DESIGN.md`` §2) built on a planted
+low-rank model, together with the synthetic generator of §5.5 used for the
+weak-scaling experiment.
+"""
+
+from .ratings import RatingMatrix, train_test_split
+from .synthetic import (
+    SyntheticSpec,
+    make_low_rank,
+    make_netflix_like,
+)
+from .distributions import (
+    power_law_degrees,
+    log_normal_degrees,
+    degrees_to_pair_sample,
+)
+from .loaders import load_npz, save_npz, load_text, save_text
+from .registry import DatasetProfile, PROFILES, load_profile, paper_statistics
+
+__all__ = [
+    "RatingMatrix",
+    "train_test_split",
+    "SyntheticSpec",
+    "make_low_rank",
+    "make_netflix_like",
+    "power_law_degrees",
+    "log_normal_degrees",
+    "degrees_to_pair_sample",
+    "load_npz",
+    "save_npz",
+    "load_text",
+    "save_text",
+    "DatasetProfile",
+    "PROFILES",
+    "load_profile",
+    "paper_statistics",
+]

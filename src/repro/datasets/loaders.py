@@ -1,0 +1,102 @@
+"""Persistence for rating matrices.
+
+Two interchange formats are supported:
+
+* ``.npz`` — compact binary via :func:`numpy.savez_compressed`; the format
+  used by the experiment harness to cache generated surrogates.
+* plain text — one ``row col value`` triplet per line with a one-line
+  ``%shape m n`` header, convenient for eyeballing and for feeding external
+  tools.  This mirrors the MovieLens/LibMF style layout the original NOMAD
+  release consumed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from ..errors import DataError
+from .ratings import RatingMatrix
+
+__all__ = ["save_npz", "load_npz", "save_text", "load_text"]
+
+PathLike = Union[str, os.PathLike]
+
+_NPZ_KEYS = ("n_rows", "n_cols", "rows", "cols", "vals")
+
+
+def save_npz(matrix: RatingMatrix, path: PathLike) -> None:
+    """Write ``matrix`` to ``path`` in compressed npz form."""
+    np.savez_compressed(
+        path,
+        n_rows=np.int64(matrix.n_rows),
+        n_cols=np.int64(matrix.n_cols),
+        rows=matrix.rows,
+        cols=matrix.cols,
+        vals=matrix.vals,
+    )
+
+
+def load_npz(path: PathLike) -> RatingMatrix:
+    """Load a matrix previously written by :func:`save_npz`."""
+    with np.load(path) as payload:
+        missing = [key for key in _NPZ_KEYS if key not in payload]
+        if missing:
+            raise DataError(f"{path}: missing npz keys {missing}")
+        return RatingMatrix(
+            int(payload["n_rows"]),
+            int(payload["n_cols"]),
+            payload["rows"],
+            payload["cols"],
+            payload["vals"],
+        )
+
+
+def save_text(matrix: RatingMatrix, path: PathLike) -> None:
+    """Write ``matrix`` as ``%shape m n`` header plus triplet lines."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"%shape {matrix.n_rows} {matrix.n_cols}\n")
+        for i, j, v in zip(matrix.rows, matrix.cols, matrix.vals):
+            handle.write(f"{int(i)} {int(j)} {float(v)!r}\n")
+
+
+def load_text(path: PathLike) -> RatingMatrix:
+    """Load a matrix previously written by :func:`save_text`."""
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    shape: tuple[int, int] | None = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("%shape"):
+                parts = line.split()
+                if len(parts) != 3:
+                    raise DataError(f"{path}:{lineno}: malformed %shape header")
+                shape = (int(parts[1]), int(parts[2]))
+                continue
+            if line.startswith("%"):
+                continue  # comment line
+            parts = line.split()
+            if len(parts) != 3:
+                raise DataError(
+                    f"{path}:{lineno}: expected 'row col value', got {line!r}"
+                )
+            rows.append(int(parts[0]))
+            cols.append(int(parts[1]))
+            vals.append(float(parts[2]))
+    if shape is None:
+        raise DataError(f"{path}: missing %shape header")
+    if not rows:
+        raise DataError(f"{path}: no ratings found")
+    return RatingMatrix(
+        shape[0],
+        shape[1],
+        np.asarray(rows, dtype=np.int64),
+        np.asarray(cols, dtype=np.int64),
+        np.asarray(vals, dtype=np.float64),
+    )

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied.
+
+    Raised eagerly at construction time (fail fast) rather than deep inside a
+    simulation run, so the offending parameter is easy to locate.
+    """
+
+
+class DataError(ReproError):
+    """A dataset is malformed, inconsistent, or cannot be loaded."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state.
+
+    This signals a bug in an algorithm driver (for example a lost or
+    duplicated nomadic token), never a user mistake.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment specification could not be resolved or executed."""

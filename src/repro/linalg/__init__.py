@@ -1,0 +1,32 @@
+"""Numerical substrate: factors, losses, regularizers, and update kernels.
+
+Everything an optimizer touches numerically lives here so that NOMAD and
+all baselines share one audited implementation of the update mathematics.
+"""
+
+from .factors import FactorPair, init_factors
+from .losses import Loss, SquaredLoss
+from .regularizers import Regularizer, WeightedL2
+from .objective import regularized_objective, test_rmse, predict
+from .kernels import (
+    sgd_update_pair,
+    sgd_process_column,
+    als_solve_row,
+    ccd_coordinate_update,
+)
+
+__all__ = [
+    "FactorPair",
+    "init_factors",
+    "Loss",
+    "SquaredLoss",
+    "Regularizer",
+    "WeightedL2",
+    "regularized_objective",
+    "test_rmse",
+    "predict",
+    "sgd_update_pair",
+    "sgd_process_column",
+    "als_solve_row",
+    "ccd_coordinate_update",
+]

@@ -1,0 +1,17 @@
+"""Run summaries and wall-clock convergence monitoring."""
+
+from .monitor import ConvergenceMonitor
+from .summary import (
+    trace_summary,
+    throughput_by_config,
+    speedup_efficiency,
+    time_to_threshold_table,
+)
+
+__all__ = [
+    "ConvergenceMonitor",
+    "trace_summary",
+    "throughput_by_config",
+    "speedup_efficiency",
+    "time_to_threshold_table",
+]

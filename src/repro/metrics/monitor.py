@@ -1,0 +1,93 @@
+"""Wall-clock convergence monitoring for the real runtimes.
+
+The simulated optimizers record traces in simulated time; the thread- and
+process-based runtimes of :mod:`repro.runtime` live in real time, where a
+caller may want periodic RMSE sampling without perturbing the workers.
+:class:`ConvergenceMonitor` provides that: a cheap polling helper that
+snapshots the factors (racy reads are acceptable for monitoring — each
+float is torn-read-safe on CPython) and appends to a
+:class:`~repro.simulator.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..datasets.ratings import RatingMatrix
+from ..errors import ConfigError
+from ..linalg.factors import FactorPair
+from ..linalg.objective import test_rmse
+from ..simulator.trace import Trace
+
+__all__ = ["ConvergenceMonitor"]
+
+
+class ConvergenceMonitor:
+    """Samples test RMSE of a live model on a wall-clock cadence.
+
+    Parameters
+    ----------
+    test:
+        Held-out ratings to evaluate against.
+    factors_fn:
+        Zero-argument callable returning the current
+        :class:`~repro.linalg.factors.FactorPair` (e.g. a lambda closing
+        over a runtime's shared arrays).
+    updates_fn:
+        Zero-argument callable returning the cumulative update count.
+    algorithm:
+        Label recorded on the trace.
+    n_workers:
+        Worker count recorded on the trace (throughput denominator).
+    """
+
+    def __init__(
+        self,
+        test: RatingMatrix,
+        factors_fn: Callable[[], FactorPair],
+        updates_fn: Callable[[], int],
+        algorithm: str = "runtime",
+        n_workers: int = 1,
+    ):
+        if n_workers < 1:
+            raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
+        self._test = test
+        self._factors_fn = factors_fn
+        self._updates_fn = updates_fn
+        self._trace = Trace(algorithm=algorithm, n_workers=n_workers)
+        self._started: float | None = None
+
+    @property
+    def trace(self) -> Trace:
+        """The accumulated trace."""
+        return self._trace
+
+    def start(self) -> None:
+        """Mark time zero and record the initial point."""
+        self._started = time.perf_counter()
+        self.sample()
+
+    def sample(self) -> float:
+        """Record one point now; returns the measured RMSE."""
+        if self._started is None:
+            self._started = time.perf_counter()
+        elapsed = time.perf_counter() - self._started
+        rmse = test_rmse(self._factors_fn(), self._test)
+        self._trace.add(elapsed, self._updates_fn(), rmse)
+        return rmse
+
+    def watch(self, duration_seconds: float, interval_seconds: float) -> Trace:
+        """Block, sampling every ``interval_seconds`` for the duration.
+
+        Intended to run on the caller's thread while the runtime's workers
+        execute in the background.
+        """
+        if duration_seconds <= 0 or interval_seconds <= 0:
+            raise ConfigError("duration and interval must be positive")
+        self.start()
+        deadline = time.perf_counter() + duration_seconds
+        while time.perf_counter() < deadline:
+            time.sleep(min(interval_seconds, max(deadline - time.perf_counter(), 0)))
+            self.sample()
+        return self._trace

@@ -1,0 +1,117 @@
+"""Summary statistics over convergence traces.
+
+These helpers turn raw :class:`~repro.simulator.trace.Trace` objects into
+the derived quantities the paper's figures report: average throughput per
+worker (Figures 6/10/16 right panels), speedup and parallel efficiency
+(the linear-scaling claims of §5.2–5.3), and time-to-RMSE comparisons (the
+"who converges faster" reading of every left panel).
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from ..simulator.trace import Trace
+
+__all__ = [
+    "trace_summary",
+    "throughput_by_config",
+    "speedup_efficiency",
+    "time_to_threshold_table",
+]
+
+
+def trace_summary(trace: Trace) -> dict[str, object]:
+    """One row of headline numbers for a single run."""
+    return {
+        "algorithm": trace.algorithm,
+        "workers": trace.n_workers,
+        "duration": round(trace.duration(), 6),
+        "updates": trace.total_updates(),
+        "final_rmse": round(trace.final_rmse(), 5),
+        "best_rmse": round(trace.best_rmse(), 5),
+        "updates_per_worker_per_sec": round(trace.throughput_per_worker(), 1),
+    }
+
+
+def throughput_by_config(traces: dict[object, Trace]) -> list[dict[str, object]]:
+    """Throughput table keyed by configuration (cores or machines).
+
+    The paper's right-hand panels plot "updates per core per second" versus
+    the worker count: flat means linear scaling (§5.2).
+    """
+    rows = []
+    for config, trace in traces.items():
+        rows.append(
+            {
+                "config": config,
+                "workers": trace.n_workers,
+                "updates_per_worker_per_sec": round(
+                    trace.throughput_per_worker(), 1
+                ),
+            }
+        )
+    return rows
+
+
+def speedup_efficiency(
+    traces: dict[int, Trace],
+    threshold: float,
+) -> list[dict[str, object]]:
+    """Speedup/efficiency of reaching ``threshold`` RMSE versus the smallest config.
+
+    Parameters
+    ----------
+    traces:
+        Mapping worker-count → trace, including the smallest count (the
+        baseline).
+    threshold:
+        Test-RMSE level defining "converged".
+
+    Returns a table with the time-to-threshold of every configuration, its
+    speedup over the smallest configuration, and the parallel efficiency
+    ``speedup / (workers / base_workers)`` (1.0 = linear scaling).
+    """
+    if not traces:
+        raise SimulationError("no traces supplied")
+    base_workers = min(traces)
+    base_time = traces[base_workers].time_to_rmse(threshold)
+    rows = []
+    for workers in sorted(traces):
+        reached = traces[workers].time_to_rmse(threshold)
+        if reached is None or base_time is None or reached == 0:
+            speedup = None
+            efficiency = None
+        else:
+            speedup = base_time / reached
+            efficiency = speedup / (workers / base_workers)
+        rows.append(
+            {
+                "workers": workers,
+                "time_to_threshold": None if reached is None else round(reached, 6),
+                "speedup": None if speedup is None else round(speedup, 2),
+                "efficiency": None if efficiency is None else round(efficiency, 2),
+            }
+        )
+    return rows
+
+
+def time_to_threshold_table(
+    traces: dict[str, Trace],
+    threshold: float,
+) -> list[dict[str, object]]:
+    """Per-algorithm time (and updates) to reach an RMSE threshold."""
+    rows = []
+    for label, trace in traces.items():
+        reached_time = trace.time_to_rmse(threshold)
+        reached_updates = trace.updates_to_rmse(threshold)
+        rows.append(
+            {
+                "algorithm": label,
+                "time_to_threshold": (
+                    None if reached_time is None else round(reached_time, 6)
+                ),
+                "updates_to_threshold": reached_updates,
+                "final_rmse": round(trace.final_rmse(), 5),
+            }
+        )
+    return rows

@@ -1,0 +1,172 @@
+"""A trained matrix-completion model: prediction, recommendation, persistence.
+
+The optimizers in this library produce raw :class:`~repro.linalg.factors.FactorPair`
+objects; :class:`CompletionModel` wraps one with the downstream API a
+recommender deployment needs — vectorized scoring, top-N recommendation
+with seen-item masking, evaluation, and round-trippable persistence —
+so example applications and users never touch factor internals.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from .datasets.ratings import RatingMatrix
+from .errors import ConfigError, DataError
+from .linalg.factors import FactorPair
+from .linalg.objective import predict, test_rmse
+
+__all__ = ["CompletionModel"]
+
+PathLike = Union[str, os.PathLike]
+
+_NPZ_KEYS = ("w", "h")
+
+
+class CompletionModel:
+    """A completed rating matrix backed by trained factors.
+
+    Parameters
+    ----------
+    factors:
+        Trained (W, H) pair, e.g. ``NomadSimulation(...).factors`` after a
+        run, or ``ThreadedNomad(...).run().factors``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> w = np.array([[1.0, 0.0], [0.0, 1.0]])
+    >>> h = np.array([[2.0, 0.0], [0.0, 3.0], [1.0, 1.0]])
+    >>> model = CompletionModel(FactorPair(w, h))
+    >>> model.predict_one(0, 0)
+    2.0
+    >>> model.recommend(0, top_n=2)
+    [(0, 2.0), (2, 1.0)]
+    """
+
+    def __init__(self, factors: FactorPair):
+        self.factors = factors
+
+    @property
+    def n_users(self) -> int:
+        """Number of users the model covers."""
+        return self.factors.n_rows
+
+    @property
+    def n_items(self) -> int:
+        """Number of items the model covers."""
+        return self.factors.n_cols
+
+    @property
+    def k(self) -> int:
+        """Latent dimension."""
+        return self.factors.k
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def predict_one(self, user: int, item: int) -> float:
+        """Predicted rating ``⟨w_user, h_item⟩`` for one cell."""
+        self._check_user(user)
+        self._check_item(item)
+        return float(np.dot(self.factors.w[user], self.factors.h[item]))
+
+    def predict_pairs(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Vectorized predictions for paired index arrays."""
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if users.shape != items.shape:
+            raise ConfigError("users and items must have equal shapes")
+        if users.size and (users.min() < 0 or users.max() >= self.n_users):
+            raise ConfigError("user index out of range")
+        if items.size and (items.min() < 0 or items.max() >= self.n_items):
+            raise ConfigError("item index out of range")
+        return predict(self.factors, users, items)
+
+    def score_items(self, user: int) -> np.ndarray:
+        """Predicted rating of every item for one user (length n_items)."""
+        self._check_user(user)
+        return self.factors.h @ self.factors.w[user]
+
+    def recommend(
+        self,
+        user: int,
+        top_n: int = 10,
+        exclude: np.ndarray | None = None,
+    ) -> list[tuple[int, float]]:
+        """Top-N items for ``user`` by predicted rating.
+
+        Parameters
+        ----------
+        user:
+            User index.
+        top_n:
+            Number of recommendations (>= 1).
+        exclude:
+            Item indices to mask out — typically the user's already-rated
+            items (pass ``train.items_of_user(user)[0]``).
+        """
+        if top_n < 1:
+            raise ConfigError(f"top_n must be >= 1, got {top_n}")
+        scores = self.score_items(user).copy()
+        if exclude is not None:
+            exclude = np.asarray(exclude, dtype=np.int64)
+            if exclude.size and (
+                exclude.min() < 0 or exclude.max() >= self.n_items
+            ):
+                raise ConfigError("exclude contains an out-of-range item")
+            scores[exclude] = -np.inf
+        top_n = min(top_n, self.n_items)
+        best = np.argpartition(scores, -top_n)[-top_n:]
+        best = best[np.argsort(scores[best])[::-1]]
+        return [
+            (int(item), float(scores[item]))
+            for item in best
+            if np.isfinite(scores[item])
+        ]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def rmse(self, ratings: RatingMatrix) -> float:
+        """Root-mean-square error against observed ratings."""
+        if ratings.shape != (self.n_users, self.n_items):
+            raise ConfigError(
+                f"rating matrix shape {ratings.shape} does not match model "
+                f"({self.n_users}, {self.n_items})"
+            )
+        return test_rmse(self.factors, ratings)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> None:
+        """Write the factors to ``path`` in compressed npz form."""
+        np.savez_compressed(path, w=self.factors.w, h=self.factors.h)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "CompletionModel":
+        """Load a model previously written by :meth:`save`."""
+        with np.load(path) as payload:
+            missing = [key for key in _NPZ_KEYS if key not in payload]
+            if missing:
+                raise DataError(f"{path}: missing npz keys {missing}")
+            return cls(FactorPair(payload["w"], payload["h"]))
+
+    # ------------------------------------------------------------------
+    def _check_user(self, user: int) -> None:
+        if not 0 <= user < self.n_users:
+            raise ConfigError(f"user {user} out of range [0, {self.n_users})")
+
+    def _check_item(self, item: int) -> None:
+        if not 0 <= item < self.n_items:
+            raise ConfigError(f"item {item} out of range [0, {self.n_items})")
+
+    def __repr__(self) -> str:
+        return (
+            f"CompletionModel(users={self.n_users}, items={self.n_items}, "
+            f"k={self.k})"
+        )

@@ -1,0 +1,17 @@
+"""Data partitioning: row partitions and the block grids of Figure 4."""
+
+from .partitioners import (
+    partition_rows_equal_count,
+    partition_rows_equal_ratings,
+    partition_range_blocks,
+    BlockGrid,
+)
+from .assignments import OwnershipLedger
+
+__all__ = [
+    "partition_rows_equal_count",
+    "partition_rows_equal_ratings",
+    "partition_range_blocks",
+    "BlockGrid",
+    "OwnershipLedger",
+]

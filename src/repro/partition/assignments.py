@@ -1,0 +1,96 @@
+"""Ownership bookkeeping for nomadic variables.
+
+NOMAD's correctness hinges on a single invariant: *at any instant, each item
+parameter h_j is owned by at most one worker* (§3.1, "At each point of time
+an h_j variable resides in one and only worker").  :class:`OwnershipLedger`
+enforces that invariant at runtime — every acquire/release is checked — and
+doubles as the audit trail that the serializability tests inspect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["OwnershipLedger"]
+
+_IN_FLIGHT = -1
+
+
+class OwnershipLedger:
+    """Tracks which worker currently owns each of ``n_items`` item tokens.
+
+    States per item: owned by worker ``q`` (>= 0), or in flight (``-1``,
+    i.e. serialized inside a message between workers).  Items always exist:
+    tokens are conserved by construction and this class raises
+    :class:`~repro.errors.SimulationError` on any double-acquire or foreign
+    release, which would indicate a scheduler bug.
+    """
+
+    def __init__(self, n_items: int, n_workers: int):
+        if n_items < 1:
+            raise SimulationError(f"n_items must be >= 1, got {n_items}")
+        if n_workers < 1:
+            raise SimulationError(f"n_workers must be >= 1, got {n_workers}")
+        self._n_workers = int(n_workers)
+        self._owner = np.full(n_items, _IN_FLIGHT, dtype=np.int64)
+        self._transfers = 0
+
+    @property
+    def n_items(self) -> int:
+        """Number of tracked item tokens."""
+        return int(self._owner.size)
+
+    @property
+    def transfers(self) -> int:
+        """Total number of completed ownership transfers so far."""
+        return self._transfers
+
+    def owner_of(self, item: int) -> int | None:
+        """Current owner of ``item``, or None while the token is in flight."""
+        owner = int(self._owner[item])
+        return None if owner == _IN_FLIGHT else owner
+
+    def acquire(self, item: int, worker: int) -> None:
+        """Record that ``worker`` received the token for ``item``."""
+        if not 0 <= worker < self._n_workers:
+            raise SimulationError(f"worker {worker} out of range")
+        if self._owner[item] != _IN_FLIGHT:
+            raise SimulationError(
+                f"item {item} acquired by worker {worker} while owned by "
+                f"worker {int(self._owner[item])}"
+            )
+        self._owner[item] = worker
+        self._transfers += 1
+
+    def release(self, item: int, worker: int) -> None:
+        """Record that ``worker`` sent the token for ``item`` onward."""
+        if self._owner[item] != worker:
+            current = self.owner_of(item)
+            raise SimulationError(
+                f"worker {worker} released item {item} owned by {current}"
+            )
+        self._owner[item] = _IN_FLIGHT
+
+    def owned_items(self, worker: int) -> np.ndarray:
+        """All items currently owned by ``worker``."""
+        return np.flatnonzero(self._owner == worker)
+
+    def items_in_flight(self) -> np.ndarray:
+        """All items currently serialized inside messages."""
+        return np.flatnonzero(self._owner == _IN_FLIGHT)
+
+    def assert_conserved(self) -> None:
+        """Check token conservation: every item is owned or in flight.
+
+        With the representation used this is always true structurally, but
+        the method also validates owner indices, guarding against memory
+        corruption from buggy callers.
+        """
+        bad = (self._owner < _IN_FLIGHT) | (self._owner >= self._n_workers)
+        if bad.any():
+            item = int(np.flatnonzero(bad)[0])
+            raise SimulationError(
+                f"item {item} has invalid owner {int(self._owner[item])}"
+            )

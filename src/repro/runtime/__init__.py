@@ -1,0 +1,26 @@
+"""Real parallel NOMAD runtimes (threads and processes).
+
+The simulator (:mod:`repro.simulator`) provides the paper's *scaling*
+results; this package provides the paper's *protocol* running on actual
+concurrent workers:
+
+* :class:`~repro.runtime.threaded.ThreadedNomad` — worker threads passing
+  item tokens through thread-safe queues, owner-computes with zero locks on
+  the parameters themselves.  Faithful to Algorithm 1's structure; the GIL
+  serializes the numerics, so use it for protocol validation rather than
+  speedups.
+* :class:`~repro.runtime.multiprocess.MultiprocessNomad` — worker
+  *processes* over shared-memory factor matrices, the standard CPython
+  workaround for GIL-bound compute.  Demonstrates genuine parallel
+  lock-free execution of the NOMAD update rule.
+"""
+
+from .threaded import ThreadedNomad, ThreadedResult
+from .multiprocess import MultiprocessNomad, MultiprocessResult
+
+__all__ = [
+    "ThreadedNomad",
+    "ThreadedResult",
+    "MultiprocessNomad",
+    "MultiprocessResult",
+]

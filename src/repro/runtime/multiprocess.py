@@ -1,0 +1,259 @@
+"""NOMAD on real processes with shared-memory factors.
+
+CPython's GIL prevents thread-level parallel speedup of the SGD inner loop,
+so this runtime applies the standard workaround: worker *processes* that
+share the factor matrices through :mod:`multiprocessing.shared_memory`.
+
+The NOMAD structure is unchanged from Algorithm 1:
+
+* ``W`` lives in one shared-memory block, partitioned by rows; each row is
+  written only by its owning process.
+* ``H`` lives in a second shared block; row ``j`` is written only by the
+  process currently holding token ``j``.
+* Tokens (plain item indices — the ``h_j`` payload already lives in shared
+  memory, which mirrors the zero-copy queue hand-off of the original C++
+  implementation) travel through per-worker :class:`multiprocessing.Queue`
+  mailboxes.
+
+Because ownership is exclusive by construction, no locks guard any float:
+the only synchronized objects are the queues themselves, exactly as in the
+paper ("the only interaction between threads is via operations on the
+queue", §3.5).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_module
+import time
+from dataclasses import dataclass
+
+import numpy as np
+from multiprocessing import shared_memory
+
+from ..config import HyperParams
+from ..datasets.ratings import RatingMatrix, Shard
+from ..errors import ConfigError
+from ..linalg.factors import FactorPair, init_factors
+from ..linalg.kernels import sgd_process_column
+from ..linalg.objective import test_rmse
+from ..partition.partitioners import partition_rows_equal_ratings
+from ..rng import RngFactory, derive_pyrandom
+
+__all__ = ["MultiprocessNomad", "MultiprocessResult"]
+
+_POLL_SECONDS = 0.02
+_JOIN_TIMEOUT = 10.0
+
+
+@dataclass
+class MultiprocessResult:
+    """Outcome of a multiprocess NOMAD run.
+
+    Attributes mirror :class:`~repro.runtime.threaded.ThreadedResult`.
+    """
+
+    factors: FactorPair
+    updates: int
+    wall_seconds: float
+    rmse: float
+    updates_per_worker: list[int]
+
+
+def _worker_main(
+    worker_id: int,
+    n_workers: int,
+    shm_w_name: str,
+    shm_h_name: str,
+    shape_w: tuple[int, int],
+    shape_h: tuple[int, int],
+    shard_rows: np.ndarray,
+    shard_cols: np.ndarray,
+    shard_vals: np.ndarray,
+    hyper: tuple[int, float, float, float],
+    seed: int,
+    mailboxes: list,
+    stop_event,
+    result_queue,
+) -> None:
+    """Entry point of one worker process (module-level for picklability)."""
+    alpha, k, beta, lambda_ = hyper
+
+    shm_w = shared_memory.SharedMemory(name=shm_w_name)
+    shm_h = shared_memory.SharedMemory(name=shm_h_name)
+    updates = 0
+    try:
+        w = np.ndarray(shape_w, dtype=np.float64, buffer=shm_w.buf)
+        h = np.ndarray(shape_h, dtype=np.float64, buffer=shm_h.buf)
+        shard = Shard(
+            worker=worker_id,
+            n_cols=shape_h[0],
+            rows=shard_rows,
+            cols=shard_cols,
+            vals=shard_vals,
+        )
+        counts = np.zeros(shard.nnz, dtype=np.int64)
+        routing = derive_pyrandom(seed, f"mp-route-{worker_id}")
+        mailbox = mailboxes[worker_id]
+
+        while True:
+            try:
+                token = mailbox.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                if stop_event.is_set():
+                    return
+                continue
+            users, ratings = shard.column(token)
+            if users.size:
+                lo, hi = shard.column_bounds(token)
+                updates += sgd_process_column(
+                    w, h[token], users, ratings, counts[lo:hi],
+                    alpha, beta, lambda_,
+                )
+            mailboxes[routing.randrange(n_workers)].put(token)
+            if stop_event.is_set():
+                return
+    finally:
+        result_queue.put((worker_id, updates))
+        shm_w.close()
+        shm_h.close()
+
+
+class MultiprocessNomad:
+    """Owner-computes NOMAD over processes and shared memory.
+
+    Parameters
+    ----------
+    train, test:
+        Rating matrices of one shape.
+    n_workers:
+        Number of worker processes (>= 1).
+    hyper:
+        Model hyperparameters.
+    seed:
+        Root seed (initialization, token scattering, per-worker routing).
+    """
+
+    def __init__(
+        self,
+        train: RatingMatrix,
+        test: RatingMatrix,
+        n_workers: int,
+        hyper: HyperParams,
+        seed: int = 0,
+    ):
+        if n_workers < 1:
+            raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
+        if train.shape != test.shape:
+            raise ConfigError("train/test shapes disagree")
+        self.train = train
+        self.test = test
+        self.n_workers = int(n_workers)
+        self.hyper = hyper
+        self.seed = int(seed)
+
+    def run(self, duration_seconds: float = 1.0) -> MultiprocessResult:
+        """Run the worker pool for ``duration_seconds`` of wall time."""
+        if duration_seconds <= 0:
+            raise ConfigError(
+                f"duration_seconds must be > 0, got {duration_seconds}"
+            )
+        factory = RngFactory(self.seed)
+        init = init_factors(
+            self.train.n_rows, self.train.n_cols, self.hyper.k,
+            factory.stream("init"),
+        )
+        partition = partition_rows_equal_ratings(self.train, self.n_workers)
+
+        # Shard triplets per worker, serialized into plain arrays so the
+        # workers can rebuild their local Ω̄^(q) without the full matrix.
+        owner = np.empty(self.train.n_rows, dtype=np.int64)
+        for q, members in enumerate(partition):
+            owner[members] = q
+        rating_owner = owner[self.train.rows]
+
+        shm_w = shared_memory.SharedMemory(create=True, size=init.w.nbytes)
+        shm_h = shared_memory.SharedMemory(create=True, size=init.h.nbytes)
+        try:
+            w_shared = np.ndarray(init.w.shape, np.float64, buffer=shm_w.buf)
+            h_shared = np.ndarray(init.h.shape, np.float64, buffer=shm_h.buf)
+            w_shared[:] = init.w
+            h_shared[:] = init.h
+
+            context = mp.get_context()
+            mailboxes = [context.Queue() for _ in range(self.n_workers)]
+            stop_event = context.Event()
+            result_queue = context.Queue()
+
+            scatter = factory.pyrandom("mp-scatter")
+            for j in range(self.train.n_cols):
+                mailboxes[scatter.randrange(self.n_workers)].put(j)
+
+            processes = []
+            for q in range(self.n_workers):
+                mask = rating_owner == q
+                process = context.Process(
+                    target=_worker_main,
+                    args=(
+                        q,
+                        self.n_workers,
+                        shm_w.name,
+                        shm_h.name,
+                        init.w.shape,
+                        init.h.shape,
+                        self.train.rows[mask],
+                        self.train.cols[mask],
+                        self.train.vals[mask],
+                        (
+                            self.hyper.alpha,
+                            self.hyper.k,
+                            self.hyper.beta,
+                            self.hyper.lambda_,
+                        ),
+                        self.seed,
+                        mailboxes,
+                        stop_event,
+                        result_queue,
+                    ),
+                    daemon=True,
+                )
+                processes.append(process)
+
+            started = time.perf_counter()
+            for process in processes:
+                process.start()
+            time.sleep(duration_seconds)
+            stop_event.set()
+
+            per_worker = [0] * self.n_workers
+            collected = 0
+            deadline = time.perf_counter() + _JOIN_TIMEOUT
+            while collected < self.n_workers and time.perf_counter() < deadline:
+                try:
+                    worker_id, n_updates = result_queue.get(timeout=0.25)
+                except queue_module.Empty:
+                    continue
+                per_worker[worker_id] = n_updates
+                collected += 1
+            wall = time.perf_counter() - started
+
+            for process in processes:
+                process.join(timeout=_JOIN_TIMEOUT)
+                if process.is_alive():
+                    process.terminate()
+                    process.join()
+
+            final = FactorPair(w_shared.copy(), h_shared.copy())
+        finally:
+            shm_w.close()
+            shm_h.close()
+            shm_w.unlink()
+            shm_h.unlink()
+
+        return MultiprocessResult(
+            factors=final,
+            updates=sum(per_worker),
+            wall_seconds=wall,
+            rmse=test_rmse(final, self.test),
+            updates_per_worker=per_worker,
+        )

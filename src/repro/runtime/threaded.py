@@ -1,0 +1,186 @@
+"""NOMAD on real Python threads.
+
+A direct transcription of Algorithm 1 onto :class:`threading.Thread`
+workers and :class:`queue.SimpleQueue` mailboxes:
+
+* every worker owns a disjoint set of user rows (its partition I_q) and a
+  mailbox of item tokens;
+* a worker pops ``(j, h_j)``, runs the SGD updates over its local ratings
+  Ω̄^(q)_j, and pushes the token to a random worker's mailbox;
+* there are **no locks around any parameter**: ``W`` rows are written only
+  by their owner, ``H`` rows only by the current token holder — the
+  owner-computes rule makes mutual exclusion structural rather than
+  enforced.
+
+CPython's GIL means the threads interleave rather than truly parallelize
+the float math, so this runtime exists to validate the protocol (token
+conservation, lock-freedom, convergence) on real concurrency primitives;
+use :class:`~repro.runtime.multiprocess.MultiprocessNomad` for actual
+parallel speedup and the simulator for scaling studies.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import HyperParams
+from ..datasets.ratings import RatingMatrix
+from ..errors import ConfigError
+from ..linalg.factors import FactorPair, init_factors
+from ..linalg.kernels import sgd_process_column
+from ..linalg.objective import test_rmse
+from ..partition.partitioners import partition_rows_equal_ratings
+from ..rng import RngFactory
+
+__all__ = ["ThreadedNomad", "ThreadedResult"]
+
+_STOP = object()  # queue sentinel telling a worker to drain and exit
+_POLL_SECONDS = 0.02
+
+
+@dataclass
+class ThreadedResult:
+    """Outcome of a threaded NOMAD run.
+
+    Attributes
+    ----------
+    factors:
+        Final (W, H) model.
+    updates:
+        Total SGD updates applied across all workers.
+    wall_seconds:
+        Real elapsed time of the parallel section.
+    rmse:
+        Test RMSE of the final model.
+    updates_per_worker:
+        Per-worker update counts (load-balance diagnostics).
+    """
+
+    factors: FactorPair
+    updates: int
+    wall_seconds: float
+    rmse: float
+    updates_per_worker: list[int]
+
+
+class ThreadedNomad:
+    """Owner-computes NOMAD over real threads.
+
+    Parameters
+    ----------
+    train, test:
+        Rating matrices of one shape.
+    n_workers:
+        Number of worker threads (>= 1).
+    hyper:
+        Model hyperparameters.
+    seed:
+        Root seed (initialization, token scattering, routing).
+    """
+
+    def __init__(
+        self,
+        train: RatingMatrix,
+        test: RatingMatrix,
+        n_workers: int,
+        hyper: HyperParams,
+        seed: int = 0,
+    ):
+        if n_workers < 1:
+            raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
+        if train.shape != test.shape:
+            raise ConfigError("train/test shapes disagree")
+        self.train = train
+        self.test = test
+        self.n_workers = int(n_workers)
+        self.hyper = hyper
+        self.seed = int(seed)
+
+    def run(self, duration_seconds: float = 1.0) -> ThreadedResult:
+        """Run the worker pool for ``duration_seconds`` of wall time."""
+        if duration_seconds <= 0:
+            raise ConfigError(
+                f"duration_seconds must be > 0, got {duration_seconds}"
+            )
+        factory = RngFactory(self.seed)
+        factors = init_factors(
+            self.train.n_rows, self.train.n_cols, self.hyper.k,
+            factory.stream("init"),
+        )
+        partition = partition_rows_equal_ratings(self.train, self.n_workers)
+        shards = self.train.shard_by_rows(partition)
+        counts = [np.zeros(shard.nnz, dtype=np.int64) for shard in shards]
+
+        mailboxes: list[queue.SimpleQueue] = [
+            queue.SimpleQueue() for _ in range(self.n_workers)
+        ]
+        scatter_rng = factory.pyrandom("scatter")
+        for j in range(self.train.n_cols):
+            mailboxes[scatter_rng.randrange(self.n_workers)].put(j)
+
+        stop = threading.Event()
+        update_totals = [0] * self.n_workers
+
+        def worker(q: int) -> None:
+            routing = factory.pyrandom(f"route-{q}")
+            shard = shards[q]
+            my_counts = counts[q]
+            w = factors.w
+            h = factors.h
+            hyper = self.hyper
+            mailbox = mailboxes[q]
+            while True:
+                try:
+                    token = mailbox.get(timeout=_POLL_SECONDS)
+                except queue.Empty:
+                    if stop.is_set():
+                        return
+                    continue
+                if token is _STOP:
+                    return
+                users, ratings = shard.column(token)
+                if users.size:
+                    lo, hi = shard.column_bounds(token)
+                    update_totals[q] += sgd_process_column(
+                        w,
+                        h[token],
+                        users,
+                        ratings,
+                        my_counts[lo:hi],
+                        hyper.alpha,
+                        hyper.beta,
+                        hyper.lambda_,
+                    )
+                if stop.is_set():
+                    # Return the token to a mailbox so none is lost.
+                    mailboxes[routing.randrange(self.n_workers)].put(token)
+                    return
+                mailboxes[routing.randrange(self.n_workers)].put(token)
+
+        threads = [
+            threading.Thread(target=worker, args=(q,), name=f"nomad-{q}")
+            for q in range(self.n_workers)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        time.sleep(duration_seconds)
+        stop.set()
+        for mailbox in mailboxes:
+            mailbox.put(_STOP)
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+
+        return ThreadedResult(
+            factors=factors,
+            updates=sum(update_totals),
+            wall_seconds=wall,
+            rmse=test_rmse(factors, self.test),
+            updates_per_worker=list(update_totals),
+        )

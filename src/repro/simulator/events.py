@@ -1,0 +1,78 @@
+"""Event primitives for the discrete-event engine.
+
+Events are ordered by (time, sequence number): the sequence number is a
+monotone counter assigned at scheduling time, so simultaneous events fire in
+the order they were scheduled.  This tie-break is what makes whole-cluster
+simulations bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulated time at which the callback fires.
+    seq:
+        Scheduling-order tie-breaker (unique per queue).
+    callback:
+        Zero-argument callable invoked when the event fires.  Closures are
+        used rather than (fn, args) tuples to keep call sites readable.
+    cancelled:
+        Lazily-deleted flag; cancelled events are skipped when popped.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` with stable ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._next_seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute ``time``; returns the event."""
+        if time < 0:
+            raise SimulationError(f"event time must be >= 0, got {time}")
+        event = Event(time=float(time), seq=self._next_seq, callback=callback)
+        self._next_seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest live event, or None when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+Everything is seeded: two test runs see identical data.  The fixtures
+deliberately use *small* matrices — the heavy paper-scale runs live in
+``benchmarks/``, not here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import HyperParams, RunConfig
+from repro.datasets.ratings import RatingMatrix, train_test_split
+from repro.datasets.synthetic import SyntheticSpec, make_low_rank
+from repro.rng import RngFactory
+from repro.simulator.cluster import Cluster
+from repro.simulator.network import HPC_PROFILE
+
+
+@pytest.fixture
+def rng_factory() -> RngFactory:
+    return RngFactory(12345)
+
+
+@pytest.fixture
+def tiny_matrix(rng_factory) -> RatingMatrix:
+    """An 80x40 rank-2 planted matrix with ~20% observed entries."""
+    spec = SyntheticSpec(n_rows=80, n_cols=40, rank=2, density=0.2, noise=0.05)
+    return make_low_rank(spec, rng_factory.stream("tiny"))
+
+
+@pytest.fixture
+def tiny_split(tiny_matrix, rng_factory):
+    return train_test_split(tiny_matrix, 0.2, rng_factory.stream("split"))
+
+
+@pytest.fixture
+def small_matrix(rng_factory) -> RatingMatrix:
+    """A 300x120 rank-3 planted matrix for convergence tests."""
+    spec = SyntheticSpec(n_rows=300, n_cols=120, rank=3, density=0.15, noise=0.1)
+    return make_low_rank(spec, rng_factory.stream("small"))
+
+
+@pytest.fixture
+def small_split(small_matrix, rng_factory):
+    return train_test_split(small_matrix, 0.2, rng_factory.stream("small-split"))
+
+
+@pytest.fixture
+def hyper() -> HyperParams:
+    return HyperParams(k=4, lambda_=0.01, alpha=0.1, beta=0.01)
+
+
+@pytest.fixture
+def short_run() -> RunConfig:
+    return RunConfig(duration=0.01, eval_interval=0.002, seed=7)
+
+
+@pytest.fixture
+def hpc_cluster() -> Cluster:
+    return Cluster(2, 2, HPC_PROFILE)
+
+
+@pytest.fixture
+def single_machine() -> Cluster:
+    return Cluster(1, 4, HPC_PROFILE)

@@ -1,0 +1,92 @@
+"""Tests for the configuration dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import HyperParams, RunConfig
+from repro.errors import ConfigError
+
+
+class TestHyperParams:
+    def test_defaults_valid(self):
+        hyper = HyperParams()
+        assert hyper.k >= 1
+        assert hyper.alpha > 0
+
+    @pytest.mark.parametrize("k", [0, -1])
+    def test_bad_k(self, k):
+        with pytest.raises(ConfigError):
+            HyperParams(k=k)
+
+    def test_negative_lambda(self):
+        with pytest.raises(ConfigError):
+            HyperParams(lambda_=-0.1)
+
+    def test_zero_lambda_allowed(self):
+        assert HyperParams(lambda_=0.0).lambda_ == 0.0
+
+    @pytest.mark.parametrize("alpha", [0.0, -1.0])
+    def test_bad_alpha(self, alpha):
+        with pytest.raises(ConfigError):
+            HyperParams(alpha=alpha)
+
+    def test_negative_beta(self):
+        with pytest.raises(ConfigError):
+            HyperParams(beta=-0.01)
+
+    def test_zero_beta_allowed(self):
+        # The paper's Hugewiki configuration uses beta = 0 (Table 1).
+        assert HyperParams(beta=0.0).beta == 0.0
+
+    def test_with_replaces_fields(self):
+        hyper = HyperParams(k=8, lambda_=0.05)
+        modified = hyper.with_(lambda_=0.5)
+        assert modified.lambda_ == 0.5
+        assert modified.k == 8
+        assert hyper.lambda_ == 0.05  # original untouched
+
+    def test_with_validates(self):
+        with pytest.raises(ConfigError):
+            HyperParams().with_(k=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            HyperParams().k = 3
+
+
+class TestRunConfig:
+    def test_defaults_valid(self):
+        run = RunConfig()
+        assert run.duration > 0
+        assert run.eval_interval <= run.duration
+
+    @pytest.mark.parametrize("duration", [0.0, -1.0, float("inf"), float("nan")])
+    def test_bad_duration(self, duration):
+        with pytest.raises(ConfigError):
+            RunConfig(duration=duration)
+
+    def test_eval_interval_exceeding_duration(self):
+        with pytest.raises(ConfigError):
+            RunConfig(duration=1.0, eval_interval=2.0)
+
+    def test_zero_eval_interval(self):
+        with pytest.raises(ConfigError):
+            RunConfig(eval_interval=0.0)
+
+    def test_negative_seed(self):
+        with pytest.raises(ConfigError):
+            RunConfig(seed=-1)
+
+    def test_bad_max_updates(self):
+        with pytest.raises(ConfigError):
+            RunConfig(max_updates=0)
+
+    def test_max_updates_none_default(self):
+        assert RunConfig().max_updates is None
+
+    def test_with_replaces_fields(self):
+        run = RunConfig(duration=2.0, eval_interval=0.5, seed=3)
+        modified = run.with_(seed=9)
+        assert modified.seed == 9
+        assert modified.duration == 2.0

@@ -1,0 +1,170 @@
+"""Cross-module integration tests: the paper's qualitative claims in small.
+
+These tests assert *shape* properties of whole experiments — who converges,
+who wins where — rather than unit behaviour.  They run at reduced scale and
+with fixed seeds; thresholds are deliberately loose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CCDPlusPlusSimulation,
+    DSGDSimulation,
+    GraphLabALSSimulation,
+)
+from repro.config import HyperParams, RunConfig
+from repro.core.nomad import NomadOptions, NomadSimulation
+from repro.datasets.ratings import train_test_split
+from repro.datasets.synthetic import SyntheticSpec, make_low_rank
+from repro.rng import RngFactory
+from repro.simulator.cluster import Cluster
+from repro.simulator.network import COMMODITY_PROFILE, HPC_PROFILE
+
+HYPER = HyperParams(k=4, lambda_=0.01, alpha=0.1, beta=0.01)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = RngFactory(2024)
+    full = make_low_rank(
+        SyntheticSpec(n_rows=400, n_cols=120, rank=3, density=0.15, noise=0.1),
+        rng.stream("integration"),
+    )
+    return train_test_split(full, 0.2, rng.stream("integration-split"))
+
+
+class TestEveryOptimizerReachesTheFloorNeighborhood:
+    """On planted low-rank data every optimizer must actually learn."""
+
+    def test_nomad(self, dataset):
+        train, test = dataset
+        cluster = Cluster(2, 2, HPC_PROFILE)
+        run = RunConfig(duration=0.06, eval_interval=0.01, seed=1)
+        trace = NomadSimulation(train, test, cluster, HYPER, run).run()
+        assert trace.final_rmse() < 0.3
+
+    def test_dsgd(self, dataset):
+        train, test = dataset
+        cluster = Cluster(2, 2, HPC_PROFILE)
+        run = RunConfig(duration=0.06, eval_interval=0.01, seed=1)
+        trace = DSGDSimulation(train, test, cluster, HYPER, run).run()
+        assert trace.final_rmse() < 0.3
+
+    def test_ccd(self, dataset):
+        train, test = dataset
+        cluster = Cluster(2, 2, HPC_PROFILE)
+        run = RunConfig(duration=1.0, eval_interval=0.1, seed=1)
+        trace = CCDPlusPlusSimulation(train, test, cluster, HYPER, run).run()
+        assert trace.final_rmse() < 0.4
+
+
+class TestMoreWorkersMoreThroughput:
+    """§5.2: NOMAD's total throughput grows with the worker count."""
+
+    def test_total_updates_scale(self, dataset):
+        train, test = dataset
+        run = RunConfig(duration=0.02, eval_interval=0.005, seed=1)
+        totals = {}
+        for cores in (1, 2, 4):
+            cluster = Cluster(1, cores, HPC_PROFILE, jitter=0.0)
+            trace = NomadSimulation(train, test, cluster, HYPER, run).run()
+            totals[cores] = trace.total_updates()
+        assert totals[2] > 1.5 * totals[1]
+        assert totals[4] > 2.5 * totals[1]
+
+
+class TestCommodityAdvantage:
+    """§5.4: NOMAD's edge over DSGD grows on a slow network."""
+
+    def test_gap_widens(self, dataset):
+        train, test = dataset
+        run = RunConfig(duration=0.05, eval_interval=0.005, seed=3)
+
+        def gap(network, jitter):
+            cluster = Cluster(4, 2, network, jitter=jitter)
+            nomad = NomadSimulation(train, test, cluster, HYPER, run).run()
+            dsgd = DSGDSimulation(train, test, cluster, HYPER, run).run()
+            threshold = 0.5
+            nomad_t = nomad.time_to_rmse(threshold)
+            dsgd_t = dsgd.time_to_rmse(threshold)
+            assert nomad_t is not None
+            if dsgd_t is None:
+                return np.inf
+            return dsgd_t / nomad_t
+
+        hpc_gap = gap(HPC_PROFILE, 0.2)
+        commodity_gap = gap(COMMODITY_PROFILE, 0.3)
+        assert commodity_gap > hpc_gap
+
+
+class TestGraphLabShape:
+    """Appendix F: lock-server ALS is orders of magnitude slower."""
+
+    def test_nomad_beats_graphlab_on_commodity(self, dataset):
+        train, test = dataset
+        cluster = Cluster(4, 2, COMMODITY_PROFILE)
+        nomad_run = RunConfig(duration=0.05, eval_interval=0.01, seed=1)
+        graphlab_run = RunConfig(duration=1.0, eval_interval=0.2, seed=1)
+        nomad = NomadSimulation(train, test, cluster, HYPER, nomad_run).run()
+        graphlab = GraphLabALSSimulation(
+            train, test, cluster, HYPER, graphlab_run
+        ).run()
+        threshold = 0.5
+        nomad_time = nomad.time_to_rmse(threshold)
+        graphlab_time = graphlab.time_to_rmse(threshold)
+        assert nomad_time is not None
+        assert graphlab_time is None or graphlab_time > 10 * nomad_time
+
+
+class TestHybridCirculationHelps:
+    """§3.4: circulating a token within a machine amortizes network hops."""
+
+    def test_fewer_network_hops_per_update(self, dataset):
+        train, test = dataset
+        run = RunConfig(duration=0.03, eval_interval=0.01, seed=1)
+        cluster = Cluster(2, 4, COMMODITY_PROFILE, jitter=0.0)
+        with_circulation = NomadSimulation(
+            train, test, cluster, HYPER, run,
+            options=NomadOptions(circulate=True),
+        )
+        with_circulation.run()
+        without = NomadSimulation(
+            train, test, cluster, HYPER, run,
+            options=NomadOptions(circulate=False),
+        )
+        without.run()
+        # Per useful update, circulation should cut the network traffic by
+        # roughly the core count (4 here); require at least 2x.
+        circulated_cost = with_circulation.network_hops / max(
+            with_circulation.total_updates, 1
+        )
+        direct_cost = without.network_hops / max(without.total_updates, 1)
+        assert circulated_cost * 2 < direct_cost
+        # And most of the circulated run's hops are the cheap local kind.
+        assert with_circulation.local_hops > with_circulation.network_hops
+
+
+class TestLoadBalancingHelps:
+    """§3.3: least-queue routing beats uniform on a heterogeneous cluster."""
+
+    def test_straggler_mitigated(self, dataset):
+        from repro.core.load_balance import LeastQueuePolicy, UniformPolicy
+
+        train, test = dataset
+        run = RunConfig(duration=0.05, eval_interval=0.01, seed=2)
+        speeds = np.array([0.3, 1.0, 1.0, 1.0])
+        cluster = Cluster(
+            4, 2, HPC_PROFILE, machine_speeds=speeds, jitter=0.0
+        )
+        uniform = NomadSimulation(
+            train, test, cluster, HYPER, run,
+            options=NomadOptions(policy=UniformPolicy()),
+        ).run()
+        balanced = NomadSimulation(
+            train, test, cluster, HYPER, run,
+            options=NomadOptions(policy=LeastQueuePolicy()),
+        ).run()
+        assert balanced.total_updates() > uniform.total_updates()

@@ -1,0 +1,92 @@
+"""Miscellaneous edge cases: error hierarchy, doctests, engine guards."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.model
+import repro.rng
+import repro.simulator.engine
+from repro.config import HyperParams, RunConfig
+from repro.core.nomad import NomadSimulation
+from repro.errors import (
+    ConfigError,
+    DataError,
+    ExperimentError,
+    ReproError,
+    SimulationError,
+)
+from repro.simulator.cluster import Cluster
+from repro.simulator.engine import Simulator
+from repro.simulator.network import HPC_PROFILE
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "subclass", [ConfigError, DataError, SimulationError, ExperimentError]
+    )
+    def test_all_derive_from_repro_error(self, subclass):
+        assert issubclass(subclass, ReproError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise DataError("x")
+
+
+class TestDoctests:
+    @pytest.mark.parametrize(
+        "module", [repro.rng, repro.simulator.engine, repro.model]
+    )
+    def test_module_doctests_pass(self, module):
+        failures, _ = doctest.testmod(module)
+        assert failures == 0
+
+
+class TestEngineGuards:
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+
+        def recurse():
+            sim.run()
+
+        sim.schedule_at(0.0, recurse)
+        with pytest.raises(SimulationError, match="reentrant"):
+            sim.run()
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestNomadHopCounters:
+    def test_hops_counted(self, tiny_split):
+        train, test = tiny_split
+        cluster = Cluster(2, 2, HPC_PROFILE)
+        sim = NomadSimulation(
+            train, test, cluster,
+            HyperParams(k=4, lambda_=0.01, alpha=0.1, beta=0.01),
+            RunConfig(duration=0.005, eval_interval=0.001, seed=1),
+        )
+        sim.run()
+        assert sim.network_hops > 0
+        assert sim.local_hops > 0
+
+    def test_single_machine_all_local(self, tiny_split):
+        train, test = tiny_split
+        cluster = Cluster(1, 4, HPC_PROFILE)
+        sim = NomadSimulation(
+            train, test, cluster,
+            HyperParams(k=4, lambda_=0.01, alpha=0.1, beta=0.01),
+            RunConfig(duration=0.005, eval_interval=0.001, seed=1),
+        )
+        sim.run()
+        assert sim.network_hops == 0
+        assert sim.local_hops > 0

@@ -1,0 +1,109 @@
+"""Tests for the CompletionModel wrapper (prediction/recommendation/persistence)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import HyperParams, RunConfig
+from repro.core.nomad import NomadSimulation
+from repro.errors import ConfigError, DataError
+from repro.linalg.factors import FactorPair
+from repro.model import CompletionModel
+from repro.simulator.cluster import Cluster
+from repro.simulator.network import HPC_PROFILE
+
+
+@pytest.fixture
+def model():
+    w = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+    h = np.array([[2.0, 0.0], [0.0, 3.0], [1.0, 1.0], [0.5, 0.5]])
+    return CompletionModel(FactorPair(w, h))
+
+
+class TestPrediction:
+    def test_predict_one(self, model):
+        assert model.predict_one(0, 0) == 2.0
+        assert model.predict_one(1, 1) == 3.0
+        assert model.predict_one(2, 2) == 2.0
+
+    def test_predict_pairs(self, model):
+        out = model.predict_pairs(np.array([0, 1]), np.array([0, 1]))
+        assert out.tolist() == [2.0, 3.0]
+
+    def test_predict_pairs_shape_mismatch(self, model):
+        with pytest.raises(ConfigError):
+            model.predict_pairs(np.array([0, 1]), np.array([0]))
+
+    def test_out_of_range(self, model):
+        with pytest.raises(ConfigError):
+            model.predict_one(5, 0)
+        with pytest.raises(ConfigError):
+            model.predict_one(0, 9)
+        with pytest.raises(ConfigError):
+            model.predict_pairs(np.array([9]), np.array([0]))
+
+    def test_score_items_length(self, model):
+        assert model.score_items(0).shape == (4,)
+
+
+class TestRecommendation:
+    def test_top_n_ordering(self, model):
+        recs = model.recommend(0, top_n=4)
+        scores = [score for _, score in recs]
+        assert scores == sorted(scores, reverse=True)
+        assert recs[0][0] == 0  # item 0 scores 2.0 for user 0
+
+    def test_exclusion(self, model):
+        recs = model.recommend(0, top_n=4, exclude=np.array([0]))
+        assert all(item != 0 for item, _ in recs)
+
+    def test_top_n_clamped(self, model):
+        assert len(model.recommend(0, top_n=100)) <= model.n_items
+
+    def test_bad_args(self, model):
+        with pytest.raises(ConfigError):
+            model.recommend(0, top_n=0)
+        with pytest.raises(ConfigError):
+            model.recommend(0, exclude=np.array([99]))
+
+
+class TestEvaluationAndPersistence:
+    def test_rmse_matches_objective(self, model, tiny_split):
+        train, _ = tiny_split
+        with pytest.raises(ConfigError):
+            model.rmse(train)  # wrong shape
+
+    def test_save_load_round_trip(self, model, tmp_path):
+        path = tmp_path / "model.npz"
+        model.save(path)
+        loaded = CompletionModel.load(path)
+        assert np.array_equal(loaded.factors.w, model.factors.w)
+        assert np.array_equal(loaded.factors.h, model.factors.h)
+
+    def test_load_missing_keys(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, w=np.zeros((2, 2)))
+        with pytest.raises(DataError):
+            CompletionModel.load(path)
+
+    def test_repr(self, model):
+        assert "users=3" in repr(model)
+
+
+class TestEndToEnd:
+    def test_model_from_trained_nomad(self, small_split):
+        train, test = small_split
+        cluster = Cluster(1, 2, HPC_PROFILE)
+        sim = NomadSimulation(
+            train, test, cluster,
+            HyperParams(k=4, lambda_=0.01, alpha=0.1, beta=0.01),
+            RunConfig(duration=0.03, eval_interval=0.01, seed=2),
+        )
+        sim.run()
+        model = CompletionModel(sim.factors)
+        assert model.rmse(test) < 0.5
+        seen, _ = train.items_of_user(0)
+        recs = model.recommend(0, top_n=5, exclude=seen)
+        assert len(recs) == 5
+        assert not set(item for item, _ in recs) & set(seen.tolist())

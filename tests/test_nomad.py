@@ -1,0 +1,321 @@
+"""Tests for the NOMAD core algorithm on the simulated cluster."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import HyperParams, RunConfig
+from repro.core.load_balance import (
+    LeastQueuePolicy,
+    PowerOfTwoPolicy,
+    UniformPolicy,
+)
+from repro.core.nomad import NomadOptions, NomadSimulation
+from repro.core.serializability import is_serializable, serial_order
+from repro.core.tokens import ItemToken
+from repro.errors import ConfigError, SimulationError
+from repro.linalg.factors import init_factors
+from repro.rng import RngFactory
+from repro.simulator.cluster import Cluster
+from repro.simulator.network import COMMODITY_PROFILE, HPC_PROFILE
+
+
+def run_nomad(train, test, machines=2, cores=2, options=None, run=None,
+              hyper=None, jitter=0.0):
+    cluster = Cluster(machines, cores, HPC_PROFILE, jitter=jitter)
+    hyper = hyper or HyperParams(k=4, lambda_=0.01, alpha=0.1, beta=0.01)
+    run = run or RunConfig(duration=0.01, eval_interval=0.002, seed=7)
+    sim = NomadSimulation(train, test, cluster, hyper, run, options=options)
+    return sim, sim.run()
+
+
+class TestConvergence:
+    def test_rmse_decreases(self, tiny_split):
+        train, test = tiny_split
+        _, trace = run_nomad(train, test)
+        assert trace.final_rmse() < trace.records[0].rmse
+
+    def test_reaches_noise_floor_neighborhood(self, small_split):
+        train, test = small_split
+        run = RunConfig(duration=0.05, eval_interval=0.01, seed=3)
+        _, trace = run_nomad(train, test, run=run)
+        assert trace.final_rmse() < 0.35
+
+    def test_single_worker_converges(self, tiny_split):
+        train, test = tiny_split
+        _, trace = run_nomad(train, test, machines=1, cores=1)
+        assert trace.final_rmse() < trace.records[0].rmse
+
+    def test_commodity_network_converges(self, tiny_split):
+        train, test = tiny_split
+        cluster = Cluster(2, 2, COMMODITY_PROFILE)
+        sim = NomadSimulation(
+            train, test, cluster,
+            HyperParams(k=4, lambda_=0.01, alpha=0.1, beta=0.01),
+            RunConfig(duration=0.02, eval_interval=0.005, seed=7),
+        )
+        trace = sim.run()
+        assert trace.final_rmse() < trace.records[0].rmse
+
+
+class TestDeterminism:
+    def test_same_seed_identical_traces(self, tiny_split):
+        train, test = tiny_split
+        _, a = run_nomad(train, test)
+        _, b = run_nomad(train, test)
+        assert [r.rmse for r in a.records] == [r.rmse for r in b.records]
+        assert [r.updates for r in a.records] == [r.updates for r in b.records]
+
+    def test_different_seed_differs(self, tiny_split):
+        train, test = tiny_split
+        _, a = run_nomad(train, test)
+        _, b = run_nomad(
+            train, test,
+            run=RunConfig(duration=0.01, eval_interval=0.002, seed=8),
+        )
+        assert [r.rmse for r in a.records] != [r.rmse for r in b.records]
+
+    def test_jitter_preserves_determinism(self, tiny_split):
+        train, test = tiny_split
+        _, a = run_nomad(train, test, jitter=0.3)
+        _, b = run_nomad(train, test, jitter=0.3)
+        assert [r.rmse for r in a.records] == [r.rmse for r in b.records]
+
+
+class TestMechanics:
+    def test_eval_cadence(self, tiny_split):
+        train, test = tiny_split
+        run = RunConfig(duration=0.01, eval_interval=0.001, seed=7)
+        _, trace = run_nomad(train, test, run=run)
+        assert 9 <= len(trace.records) <= 12
+
+    def test_max_updates_respected(self, tiny_split):
+        train, test = tiny_split
+        run = RunConfig(
+            duration=0.01, eval_interval=0.002, seed=7, max_updates=500
+        )
+        sim, trace = run_nomad(train, test, run=run)
+        # Stops within one token's worth of the cap.
+        assert trace.total_updates() <= 500 + train.col_counts().max()
+
+    def test_factors_shapes(self, tiny_split):
+        train, test = tiny_split
+        sim, _ = run_nomad(train, test)
+        factors = sim.factors
+        assert factors.w.shape == (train.n_rows, 4)
+        assert factors.h.shape == (train.n_cols, 4)
+        assert np.all(np.isfinite(factors.w))
+        assert np.all(np.isfinite(factors.h))
+
+    def test_tokens_conserved(self, tiny_split):
+        train, test = tiny_split
+        sim, _ = run_nomad(train, test)
+        queued = sum(sim.queue_sizes())
+        in_flight = sim._ledger.items_in_flight().size
+        owned = sum(
+            sim._ledger.owned_items(q).size
+            for q in range(sim.cluster.n_workers)
+        )
+        assert owned + in_flight == train.n_cols
+        assert queued <= owned
+
+    def test_throughput_positive(self, tiny_split):
+        train, test = tiny_split
+        _, trace = run_nomad(train, test)
+        assert trace.throughput_per_worker() > 0
+
+    def test_trace_metadata(self, tiny_split):
+        train, test = tiny_split
+        _, trace = run_nomad(train, test, machines=2, cores=2)
+        assert trace.algorithm == "NOMAD"
+        assert trace.n_workers == 4
+        assert trace.meta["machines"] == 2
+
+
+class TestOptions:
+    def test_row_partition_mode(self, tiny_split):
+        train, test = tiny_split
+        options = NomadOptions(partition="rows")
+        _, trace = run_nomad(train, test, options=options)
+        assert trace.final_rmse() < trace.records[0].rmse
+
+    def test_invalid_partition_rejected(self):
+        with pytest.raises(ConfigError):
+            NomadOptions(partition="columns")
+
+    def test_no_circulation(self, tiny_split):
+        train, test = tiny_split
+        options = NomadOptions(circulate=False)
+        _, trace = run_nomad(train, test, options=options)
+        assert trace.final_rmse() < trace.records[0].rmse
+
+    @pytest.mark.parametrize(
+        "policy", [UniformPolicy(), LeastQueuePolicy(), PowerOfTwoPolicy()]
+    )
+    def test_policies_run(self, tiny_split, policy):
+        train, test = tiny_split
+        options = NomadOptions(policy=policy)
+        _, trace = run_nomad(train, test, options=options)
+        assert trace.final_rmse() < trace.records[0].rmse
+
+    def test_external_factors_used(self, tiny_split):
+        train, test = tiny_split
+        cluster = Cluster(1, 2, HPC_PROFILE)
+        hyper = HyperParams(k=4, lambda_=0.01, alpha=0.1, beta=0.01)
+        run = RunConfig(duration=0.005, eval_interval=0.001, seed=7)
+        factors = init_factors(
+            train.n_rows, train.n_cols, 4, RngFactory(99).stream("custom")
+        )
+        w_original = factors.w.copy()
+        sim = NomadSimulation(train, test, cluster, hyper, run, factors=factors)
+        sim.run()
+        assert not np.allclose(sim.factors.w, w_original)
+
+    def test_factor_shape_mismatch_rejected(self, tiny_split):
+        train, test = tiny_split
+        cluster = Cluster(1, 2, HPC_PROFILE)
+        hyper = HyperParams(k=4, lambda_=0.01, alpha=0.1, beta=0.01)
+        run = RunConfig(duration=0.005, eval_interval=0.001)
+        bad = init_factors(train.n_rows + 1, train.n_cols, 4,
+                           RngFactory(0).stream("bad"))
+        with pytest.raises(ConfigError):
+            NomadSimulation(train, test, cluster, hyper, run, factors=bad)
+
+    def test_factor_k_mismatch_rejected(self, tiny_split):
+        train, test = tiny_split
+        cluster = Cluster(1, 2, HPC_PROFILE)
+        hyper = HyperParams(k=4, lambda_=0.01, alpha=0.1, beta=0.01)
+        run = RunConfig(duration=0.005, eval_interval=0.001)
+        bad = init_factors(train.n_rows, train.n_cols, 6,
+                           RngFactory(0).stream("bad"))
+        with pytest.raises(ConfigError):
+            NomadSimulation(train, test, cluster, hyper, run, factors=bad)
+
+    def test_shape_mismatch_rejected(self, tiny_split, small_split):
+        train, _ = tiny_split
+        _, other_test = small_split
+        cluster = Cluster(1, 2, HPC_PROFILE)
+        with pytest.raises(ConfigError):
+            NomadSimulation(
+                train, other_test, cluster,
+                HyperParams(k=4), RunConfig(duration=0.01, eval_interval=0.002),
+            )
+
+
+class TestSerializabilityOfNomad:
+    """The paper's central claim, checked mechanically."""
+
+    def test_update_log_is_serializable(self, tiny_split):
+        train, test = tiny_split
+        options = NomadOptions(record_updates=True)
+        sim, _ = run_nomad(train, test, machines=2, cores=2, options=options)
+        assert len(sim.update_log) > 100
+        assert is_serializable(sim.update_log)
+
+    def test_serial_replay_reproduces_factors(self, tiny_split):
+        """Replaying the log in topological order gives identical factors.
+
+        This is serializability in action: an equivalent *serial* execution
+        produces bit-identical results, because conflicting updates keep
+        their observed order and non-conflicting updates commute exactly.
+        """
+        train, test = tiny_split
+        options = NomadOptions(record_updates=True)
+        hyper = HyperParams(k=4, lambda_=0.01, alpha=0.1, beta=0.01)
+        run = RunConfig(duration=0.005, eval_interval=0.001, seed=7)
+        cluster = Cluster(2, 2, HPC_PROFILE)
+        sim = NomadSimulation(train, test, cluster, hyper, run, options=options)
+        sim.run()
+
+        ordered = serial_order(sim.update_log)
+        ratings = {
+            (int(i), int(j)): float(v)
+            for i, j, v in zip(train.rows, train.cols, train.vals)
+        }
+        replay = init_factors(
+            train.n_rows, train.n_cols, hyper.k, RngFactory(run.seed).stream("init")
+        )
+        w, h = replay.w, replay.h
+        for event in ordered:
+            step = hyper.alpha / (1.0 + hyper.beta * event.count ** 1.5)
+            rating = ratings[(event.row, event.col)]
+            w_row = w[event.row]
+            h_col = h[event.col]
+            error = float(np.dot(w_row, h_col)) - rating
+            scaled = step * error
+            decay = 1.0 - step * hyper.lambda_
+            w_new = decay * w_row - scaled * h_col
+            h_new = decay * h_col - scaled * w_row
+            w[event.row] = w_new
+            h[event.col] = h_new
+
+        final = sim.factors
+        assert np.allclose(final.w, w, atol=1e-9)
+        assert np.allclose(final.h, h, atol=1e-9)
+
+
+class TestTokens:
+    def test_token_circulation_order(self):
+        token = ItemToken(item=3, vector=[0.0], circulation=[5, 7])
+        assert token.next_local_stop() == 5
+        assert token.next_local_stop() == 7
+        assert token.next_local_stop() is None
+
+    def test_repr(self):
+        token = ItemToken(item=3, vector=[0.0])
+        assert "item=3" in repr(token)
+
+
+class TestGenericLosses:
+    """The §6 extension: NOMAD over arbitrary separable losses."""
+
+    def test_huber_loss_converges(self, small_split):
+        from repro.linalg.losses import HuberLoss
+
+        train, test = small_split
+        options = NomadOptions(loss=HuberLoss(delta=1.0))
+        run = RunConfig(duration=0.03, eval_interval=0.005, seed=3)
+        _, trace = run_nomad(train, test, options=options, run=run)
+        assert trace.final_rmse() < 0.6
+
+    def test_absolute_loss_converges(self, small_split):
+        from repro.linalg.losses import AbsoluteLoss
+
+        train, test = small_split
+        hyper = HyperParams(k=4, lambda_=0.001, alpha=0.05, beta=0.005)
+        options = NomadOptions(loss=AbsoluteLoss())
+        run = RunConfig(duration=0.05, eval_interval=0.01, seed=3)
+        _, trace = run_nomad(train, test, options=options, run=run, hyper=hyper)
+        assert trace.final_rmse() < trace.records[0].rmse * 0.5
+
+    def test_explicit_squared_loss_normalized_to_fast_path(self):
+        from repro.linalg.losses import SquaredLoss
+
+        options = NomadOptions(loss=SquaredLoss())
+        assert options.loss is None
+
+    def test_squared_generic_kernel_matches_fast_kernel(self, tiny_split):
+        """Routing the square loss through the generic kernel must produce
+        the same trajectory as the specialized fast path."""
+        import numpy as np
+        from repro.linalg.kernels import (
+            sgd_process_column_fast,
+            sgd_process_column_loss_fast,
+        )
+        from repro.linalg.losses import SquaredLoss
+
+        rng = np.random.default_rng(0)
+        w0 = rng.random((6, 4))
+        h0 = rng.random(4)
+        rows = rng.integers(0, 6, size=12).tolist()
+        vals = rng.random(12).tolist()
+
+        w_a, h_a = w0.tolist(), h0.tolist()
+        sgd_process_column_fast(w_a, h_a, rows, vals, [0] * 12, 0.1, 0.02, 0.05)
+        w_b, h_b = w0.tolist(), h0.tolist()
+        sgd_process_column_loss_fast(
+            w_b, h_b, rows, vals, [0] * 12, 0.1, 0.02, 0.05, SquaredLoss()
+        )
+        assert np.allclose(np.asarray(w_a), np.asarray(w_b), atol=1e-12)
+        assert np.allclose(np.asarray(h_a), np.asarray(h_b), atol=1e-12)

@@ -1,0 +1,224 @@
+"""Tests for the RatingMatrix data structure and shards."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.ratings import RatingMatrix, train_test_split
+from repro.errors import DataError
+from repro.rng import RngFactory
+
+
+def make_matrix():
+    #     c0   c1   c2
+    # r0  1.0       3.0
+    # r1       2.0
+    # r2  4.0  5.0
+    return RatingMatrix(
+        3, 3,
+        rows=np.array([0, 0, 1, 2, 2]),
+        cols=np.array([0, 2, 1, 0, 1]),
+        vals=np.array([1.0, 3.0, 2.0, 4.0, 5.0]),
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        matrix = make_matrix()
+        assert matrix.shape == (3, 3)
+        assert matrix.nnz == 5
+        assert 0 < matrix.density < 1
+
+    def test_sorted_canonical_order(self):
+        matrix = RatingMatrix(
+            2, 2,
+            rows=np.array([1, 0]),
+            cols=np.array([0, 1]),
+            vals=np.array([9.0, 8.0]),
+        )
+        assert matrix.rows.tolist() == [0, 1]
+        assert matrix.vals.tolist() == [8.0, 9.0]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(DataError, match="duplicate"):
+            RatingMatrix(
+                2, 2,
+                rows=np.array([0, 0]),
+                cols=np.array([1, 1]),
+                vals=np.array([1.0, 2.0]),
+            )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DataError):
+            RatingMatrix(2, 2, np.array([2]), np.array([0]), np.array([1.0]))
+        with pytest.raises(DataError):
+            RatingMatrix(2, 2, np.array([0]), np.array([5]), np.array([1.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            RatingMatrix(2, 2, np.array([]), np.array([]), np.array([]))
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(DataError):
+            RatingMatrix(
+                2, 2, np.array([0]), np.array([0]), np.array([np.nan])
+            )
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(DataError):
+            RatingMatrix(0, 2, np.array([0]), np.array([0]), np.array([1.0]))
+
+    def test_arrays_read_only(self):
+        matrix = make_matrix()
+        with pytest.raises(ValueError):
+            matrix.vals[0] = 99.0
+
+    def test_equality(self):
+        assert make_matrix() == make_matrix()
+        other = RatingMatrix(3, 3, np.array([0]), np.array([0]), np.array([7.0]))
+        assert make_matrix() != other
+
+
+class TestViews:
+    def test_items_of_user(self):
+        matrix = make_matrix()
+        items, vals = matrix.items_of_user(0)
+        assert items.tolist() == [0, 2]
+        assert vals.tolist() == [1.0, 3.0]
+
+    def test_users_of_item(self):
+        matrix = make_matrix()
+        users, vals = matrix.users_of_item(1)
+        assert users.tolist() == [1, 2]
+        assert vals.tolist() == [2.0, 5.0]
+
+    def test_empty_row_allowed_after_select(self):
+        matrix = make_matrix()
+        items, vals = matrix.items_of_user(1)
+        assert items.tolist() == [1]
+
+    def test_counts(self):
+        matrix = make_matrix()
+        assert matrix.row_counts().tolist() == [2, 1, 2]
+        assert matrix.col_counts().tolist() == [2, 2, 1]
+
+    def test_counts_sum_to_nnz(self):
+        matrix = make_matrix()
+        assert matrix.row_counts().sum() == matrix.nnz
+        assert matrix.col_counts().sum() == matrix.nnz
+
+
+class TestDenseRoundTrip:
+    def test_from_dense_to_dense(self):
+        dense = np.array([[0.0, 2.0], [3.0, 0.0]])
+        matrix = RatingMatrix.from_dense(dense)
+        assert matrix.nnz == 2
+        assert np.array_equal(matrix.to_dense(), dense)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(DataError):
+            RatingMatrix.from_dense(np.array([1.0, 2.0]))
+
+
+class TestSelect:
+    def test_select_subset(self):
+        matrix = make_matrix()
+        mask = np.zeros(matrix.nnz, dtype=bool)
+        mask[:2] = True
+        subset = matrix.select(mask)
+        assert subset.nnz == 2
+        assert subset.shape == matrix.shape
+
+    def test_select_empty_rejected(self):
+        matrix = make_matrix()
+        with pytest.raises(DataError):
+            matrix.select(np.zeros(matrix.nnz, dtype=bool))
+
+    def test_select_wrong_length(self):
+        matrix = make_matrix()
+        with pytest.raises(DataError):
+            matrix.select(np.ones(3, dtype=bool))
+
+
+class TestShards:
+    def test_shard_partition(self):
+        matrix = make_matrix()
+        partition = [np.array([0, 1]), np.array([2])]
+        shards = matrix.shard_by_rows(partition)
+        assert len(shards) == 2
+        assert shards[0].nnz + shards[1].nnz == matrix.nnz
+
+    def test_shard_columns(self):
+        matrix = make_matrix()
+        shards = matrix.shard_by_rows([np.array([0, 1]), np.array([2])])
+        users, vals = shards[0].column(0)
+        assert users.tolist() == [0]
+        users, vals = shards[1].column(0)
+        assert users.tolist() == [2]
+        assert vals.tolist() == [4.0]
+
+    def test_shard_column_nnz_consistency(self):
+        matrix = make_matrix()
+        shards = matrix.shard_by_rows([np.array([0, 1]), np.array([2])])
+        for j in range(matrix.n_cols):
+            total = sum(shard.column_nnz(j) for shard in shards)
+            assert total == matrix.users_of_item(j)[0].size
+
+    def test_shard_column_bounds_align(self):
+        matrix = make_matrix()
+        (shard,) = matrix.shard_by_rows([np.arange(3)])
+        for j in range(matrix.n_cols):
+            lo, hi = shard.column_bounds(j)
+            assert hi - lo == shard.column_nnz(j)
+
+    def test_overlapping_partition_rejected(self):
+        matrix = make_matrix()
+        with pytest.raises(DataError, match="overlap"):
+            matrix.shard_by_rows([np.array([0, 1]), np.array([1, 2])])
+
+    def test_incomplete_partition_rejected(self):
+        matrix = make_matrix()
+        with pytest.raises(DataError, match="cover"):
+            matrix.shard_by_rows([np.array([0]), np.array([2])])
+
+    def test_local_rows(self):
+        matrix = make_matrix()
+        shards = matrix.shard_by_rows([np.array([0, 1]), np.array([2])])
+        assert shards[1].local_rows().tolist() == [2]
+
+
+class TestTrainTestSplit:
+    def test_split_sizes(self, rng_factory=None):
+        matrix = make_matrix()
+        rng = RngFactory(0).stream("split")
+        train, test = train_test_split(matrix, 0.4, rng)
+        assert train.nnz + test.nnz == matrix.nnz
+        assert test.nnz == 2
+
+    def test_split_disjoint(self):
+        matrix = make_matrix()
+        rng = RngFactory(0).stream("split")
+        train, test = train_test_split(matrix, 0.4, rng)
+        train_pairs = set(zip(train.rows.tolist(), train.cols.tolist()))
+        test_pairs = set(zip(test.rows.tolist(), test.cols.tolist()))
+        assert not train_pairs & test_pairs
+
+    def test_split_deterministic(self):
+        matrix = make_matrix()
+        a = train_test_split(matrix, 0.4, RngFactory(1).stream("s"))
+        b = train_test_split(matrix, 0.4, RngFactory(1).stream("s"))
+        assert a[0] == b[0]
+        assert a[1] == b[1]
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.5, 2.0])
+    def test_bad_fraction(self, fraction):
+        with pytest.raises(DataError):
+            train_test_split(make_matrix(), fraction, RngFactory(0).stream("s"))
+
+    def test_degenerate_split_rejected(self):
+        tiny = RatingMatrix(
+            2, 2, np.array([0, 1]), np.array([0, 1]), np.array([1.0, 2.0])
+        )
+        with pytest.raises(DataError):
+            train_test_split(tiny, 0.01, RngFactory(0).stream("s"))
