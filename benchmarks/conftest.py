@@ -28,6 +28,13 @@ def bench_scale() -> str:
 
 
 @pytest.fixture
+def bench_env():
+    """(results_dir, scale) for non-figure micro-benchmarks, so they
+    share the figure suite's output location and scale preset."""
+    return RESULTS_DIR, bench_scale()
+
+
+@pytest.fixture
 def run_figure(benchmark):
     """Run one registered experiment under pytest-benchmark, save report."""
 

@@ -1,0 +1,130 @@
+"""Micro-benchmark: updates/sec per kernel backend per latent dimension.
+
+Times the two hot kernel variants (NOMAD's column loop and the baselines'
+entries loop) on each registered backend for k ∈ {8, 32, 100} and records
+the updates/sec matrix to ``results/kernel_backends.json`` (BENCH json).
+This is the perf baseline future backends (numba, Cython, GPU) and the
+``AUTO_NUMPY_MIN_K`` auto-selection crossover are judged against.
+
+Run with the rest of the benchmark suite; scale via ``REPRO_BENCH_SCALE``
+(``tiny`` shortens the timed window for smoke passes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.linalg.backends import BACKENDS, get_backend
+from repro.linalg.factors import FactorPair
+
+LATENT_DIMS = [8, 32, 100]
+N_USERS = 400
+NNZ = 256
+ALPHA, BETA, LAMBDA = 0.012, 0.05, 0.05
+
+#: Minimum timed window per (backend, variant, k) cell, seconds.
+_WINDOWS = {"tiny": 0.01, "small": 0.05, "medium": 0.2}
+
+
+def _fixture(k: int):
+    rng = np.random.default_rng(k)
+    w = rng.random((N_USERS, k)) / np.sqrt(k)
+    h = rng.random((max(NNZ // 4, 2), k)) / np.sqrt(k)
+    users = rng.integers(0, N_USERS, size=NNZ)
+    cols = rng.integers(0, h.shape[0], size=NNZ)
+    vals = rng.random(NNZ) * 4.0
+    order = rng.permutation(NNZ)
+    return FactorPair(w, h), users, cols, vals, order
+
+
+def _rate(run_once, window: float) -> float:
+    """Calibrated updates/sec of one kernel invocation closure."""
+    run_once()  # warm-up
+    updates = 0
+    started = time.perf_counter()
+    while time.perf_counter() - started < window:
+        updates += run_once()
+    elapsed = time.perf_counter() - started
+    return updates / elapsed
+
+
+def _bench_backend(name: str, k: int, window: float) -> dict[str, float]:
+    backend = get_backend(name)
+    pair, users, cols, vals, order = _fixture(k)
+    w, h = backend.make_store(pair)
+    if isinstance(w, list):
+        users_arg, cols_arg = users.tolist(), cols.tolist()
+        vals_arg, order_arg = vals.tolist(), order.tolist()
+    else:
+        users_arg, cols_arg, vals_arg, order_arg = users, cols, vals, order
+    counts_col = [0] * NNZ if isinstance(w, list) else np.zeros(NNZ, np.int64)
+    counts_ent = [0] * NNZ if isinstance(w, list) else np.zeros(NNZ, np.int64)
+    h_col = backend.row(h, 0)
+
+    def column_once():
+        return backend.process_column(
+            w, h_col, users_arg, vals_arg, counts_col, ALPHA, BETA, LAMBDA
+        )
+
+    def entries_once():
+        return backend.process_entries(
+            w, h, users_arg, cols_arg, vals_arg, counts_ent,
+            ALPHA, BETA, LAMBDA, order_arg,
+        )
+
+    return {
+        "column": _rate(column_once, window),
+        "entries": _rate(entries_once, window),
+    }
+
+
+def test_kernel_backend_throughput(bench_env):
+    """Record the updates/sec comparison and sanity-check every cell."""
+    results_dir, scale = bench_env
+    window = _WINDOWS.get(scale, 0.05)
+    cells = []
+    for k in LATENT_DIMS:
+        for name in sorted(BACKENDS):
+            rates = _bench_backend(name, k, window)
+            for variant, rate in rates.items():
+                cells.append(
+                    {
+                        "backend": name,
+                        "variant": variant,
+                        "k": k,
+                        "updates_per_sec": round(rate, 1),
+                    }
+                )
+
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, "kernel_backends.json")
+    payload = {
+        "benchmark": "kernel_backends",
+        "unit": "updates_per_sec",
+        "scale": scale,
+        "n_users": N_USERS,
+        "nnz": NNZ,
+        "results": cells,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+    print()
+    print(f"{'backend':>8} {'variant':>8} " +
+          " ".join(f"k={k:<10}" for k in LATENT_DIMS))
+    for name in sorted(BACKENDS):
+        for variant in ("column", "entries"):
+            row = [
+                cell["updates_per_sec"]
+                for cell in cells
+                if cell["backend"] == name and cell["variant"] == variant
+            ]
+            print(f"{name:>8} {variant:>8} " +
+                  " ".join(f"{rate:<12,.0f}" for rate in row))
+
+    assert all(cell["updates_per_sec"] > 0 for cell in cells)
+    assert len(cells) == len(LATENT_DIMS) * len(BACKENDS) * 2

@@ -30,11 +30,13 @@ class ALSSimulation(ClockedOptimizer):
 
     algorithm = "ALS"
 
+    # Exact solves are dense-vector work: keep ndarray factors.
+    factor_storage = "ndarray"
+
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
-        # Exact solves are dense-vector work: keep ndarray factors.
-        self._w = np.asarray(self._w_rows)
-        self._h = np.asarray(self._h_rows)
+        self._w = self._w_store
+        self._h = self._h_store
 
     @property
     def factors(self) -> FactorPair:

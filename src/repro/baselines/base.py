@@ -4,9 +4,10 @@ The bulk-synchronous baselines (DSGD, DSGD++, CCD++, ALS) do not need a
 discrete-event engine: within an epoch their timing is a closed-form
 ``max`` over workers plus communication terms, so they advance a scalar
 clock.  :class:`ClockedOptimizer` centralizes that clock, the factor
-storage (fast list-of-lists representation shared with NOMAD), the trace
-recording policy, and the stopping rule, so each baseline module contains
-only its scheduling logic and cost accounting.
+storage (owned by the kernel backend selected through
+``RunConfig.kernel_backend``, shared with NOMAD), the trace recording
+policy, and the stopping rule, so each baseline module contains only its
+scheduling logic and cost accounting.
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ import numpy as np
 from ..config import HyperParams, RunConfig
 from ..datasets.ratings import RatingMatrix
 from ..errors import ConfigError, SimulationError
+from ..linalg.backends import resolve_backend
 from ..linalg.factors import FactorPair, init_factors
 from ..linalg.objective import test_rmse
 from ..rng import RngFactory
@@ -40,6 +42,11 @@ class ClockedOptimizer(abc.ABC):
     """
 
     algorithm = "?"
+
+    #: Dense-vector subclasses (ALS, CCD++) set this to ``"ndarray"`` to
+    #: hold plain ndarray factors directly instead of an SGD-backend
+    #: store they would never use (avoids a throwaway full-matrix copy).
+    factor_storage = "backend"
 
     def __init__(
         self,
@@ -69,8 +76,12 @@ class ClockedOptimizer(abc.ABC):
             raise ConfigError("factor shapes do not match the rating matrix")
         if factors.k != hyper.k:
             raise ConfigError(f"factor dimension {factors.k} != hyper.k {hyper.k}")
-        self._w_rows: list[list[float]] = factors.w.tolist()
-        self._h_rows: list[list[float]] = factors.h.tolist()
+        self._backend = resolve_backend(run.kernel_backend, k=hyper.k)
+        if self.factor_storage == "ndarray":
+            self._w_store = factors.w.copy()
+            self._h_store = factors.h.copy()
+        else:
+            self._w_store, self._h_store = self._backend.make_store(factors)
 
         self._jitter_rng = self.rng_factory.pyrandom(f"jitter-{self.algorithm}")
         self._clock = 0.0
@@ -102,7 +113,7 @@ class ClockedOptimizer(abc.ABC):
     @property
     def factors(self) -> FactorPair:
         """Materialized (W, H) snapshot of the current model state."""
-        return FactorPair(np.asarray(self._w_rows), np.asarray(self._h_rows))
+        return self._backend.export(self._w_store, self._h_store)
 
     @property
     def now(self) -> float:

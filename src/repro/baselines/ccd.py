@@ -48,6 +48,8 @@ class CCDPlusPlusSimulation(ClockedOptimizer):
 
     algorithm = "CCD++"
 
+    factor_storage = "ndarray"
+
     def __init__(
         self,
         *args,
@@ -64,10 +66,10 @@ class CCDPlusPlusSimulation(ClockedOptimizer):
             )
         self.inner_iters = int(inner_iters)
         self.init_mode = init_mode
-        # CCD++ is a dense-vector method: work in ndarrays throughout and
-        # override the factors property accordingly.
-        self._w = np.asarray(self._w_rows)
-        self._h = np.asarray(self._h_rows)
+        # CCD++ is a dense-vector method: work in ndarrays throughout
+        # (factor_storage = "ndarray") and override `factors` accordingly.
+        self._w = self._w_store
+        self._h = self._h_store
         if init_mode == "zero_w":
             # The reference implementation (libpmf) starts with W = 0, so
             # predictions begin at 0 and the first rank-one fits strictly

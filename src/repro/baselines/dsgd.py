@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..linalg.kernels import sgd_process_entries_const_fast
 from ..linalg.objective import regularized_objective
 from ..linalg.regularizers import WeightedL2
 from ..partition.partitioners import BlockGrid, partition_range_blocks
@@ -80,8 +79,8 @@ class DSGDSimulation(ClockedOptimizer):
             # Gemulla et al.'s bold driver keeps the previous iterate so a
             # rejected (or diverged) epoch can be rolled back before the
             # step size is halved.
-            snapshot_w = [row[:] for row in self._w_rows]
-            snapshot_h = [row[:] for row in self._h_rows]
+            snapshot_w = self._backend.copy_rows(self._w_store)
+            snapshot_h = self._backend.copy_rows(self._h_store)
             offset = shuffle_rng.randrange(n_col_blocks)
             step = driver.step
             diverged = False
@@ -93,9 +92,9 @@ class DSGDSimulation(ClockedOptimizer):
                     ) % n_col_blocks
                     order = cell_orders[q][col_block]
                     shuffle_rng.shuffle(order)
-                    applied = sgd_process_entries_const_fast(
-                        self._w_rows,
-                        self._h_rows,
+                    applied = self._backend.process_entries_const(
+                        self._w_store,
+                        self._h_store,
                         entry_rows,
                         entry_cols,
                         ratings,
@@ -142,16 +141,14 @@ class DSGDSimulation(ClockedOptimizer):
 
     def _factors_finite(self) -> bool:
         """Cheap divergence probe over the current factors."""
-        w = np.asarray(self._w_rows)
-        h = np.asarray(self._h_rows)
+        w = np.asarray(self._w_store)
+        h = np.asarray(self._h_store)
         return bool(np.isfinite(w).all() and np.isfinite(h).all())
 
-    def _restore(self, snapshot_w: list, snapshot_h: list) -> None:
-        """Roll the factor lists back to an epoch-start snapshot."""
-        for index, row in enumerate(snapshot_w):
-            self._w_rows[index] = row
-        for index, row in enumerate(snapshot_h):
-            self._h_rows[index] = row
+    def _restore(self, snapshot_w, snapshot_h) -> None:
+        """Roll the factor store back to an epoch-start snapshot."""
+        self._backend.restore_rows(self._w_store, snapshot_w)
+        self._backend.restore_rows(self._h_store, snapshot_h)
 
     def _shift_cost(self, block_bytes: float) -> float:
         """Time to rotate one H column block to the next machine."""

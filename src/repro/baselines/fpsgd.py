@@ -21,7 +21,6 @@ from __future__ import annotations
 import heapq
 
 from ..errors import ConfigError
-from ..linalg.kernels import sgd_process_entries_fast
 from ..partition.partitioners import BlockGrid, partition_range_blocks
 from .base import ClockedOptimizer
 
@@ -113,9 +112,9 @@ class FPSGDSimulation(ClockedOptimizer):
             cell = assignment.pop(worker)
             order = cell_orders[cell]
             rng.shuffle(order)
-            applied = sgd_process_entries_fast(
-                self._w_rows,
-                self._h_rows,
+            applied = self._backend.process_entries(
+                self._w_store,
+                self._h_store,
                 entry_rows,
                 entry_cols,
                 ratings,

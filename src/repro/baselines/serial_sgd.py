@@ -5,13 +5,13 @@ one-worker NOMAD run must apply exactly this update sequence (invariant 4 of
 DESIGN.md), and all speedup numbers are relative to this baseline's
 convergence-per-second.
 
-Uses the same per-rating step-size schedule (equation 11) and the same fast
-kernel as NOMAD; time is charged at one worker's SGD rate.
+Uses the same per-rating step-size schedule (equation 11) and the same
+kernel backend as NOMAD (``RunConfig.kernel_backend``); time is charged at
+one worker's SGD rate.
 """
 
 from __future__ import annotations
 
-from ..linalg.kernels import sgd_process_entries_fast
 from .base import ClockedOptimizer
 
 __all__ = ["SerialSGD"]
@@ -42,9 +42,9 @@ class SerialSGD(ClockedOptimizer):
             order = shuffle_rng.permutation(train.nnz).tolist()
             for start in range(0, len(order), chunk):
                 piece = order[start : start + chunk]
-                applied = sgd_process_entries_fast(
-                    self._w_rows,
-                    self._h_rows,
+                applied = self._backend.process_entries(
+                    self._w_store,
+                    self._h_store,
                     entry_rows,
                     entry_cols,
                     ratings,

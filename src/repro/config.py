@@ -16,11 +16,31 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 
 from .errors import ConfigError
 
 __all__ = ["HyperParams", "RunConfig"]
+
+
+def _valid_kernel_backends() -> tuple[str, ...]:
+    """Registered backend names plus the auto sentinel.
+
+    Imported lazily: the backend registry in :mod:`repro.linalg.backends`
+    is the single source of truth, but importing it at module level would
+    close the cycle config → linalg → datasets → config.
+    """
+    from .linalg.backends import BACKENDS
+
+    return ("auto", *sorted(BACKENDS))
+
+
+def _default_kernel_backend() -> str:
+    """Session default: the ``NOMAD_KERNEL_BACKEND`` env var, else auto."""
+    from .linalg.backends import ENV_VAR
+
+    return os.environ.get(ENV_VAR, "auto")
 
 
 @dataclass(frozen=True)
@@ -78,12 +98,20 @@ class RunConfig:
     max_updates:
         Optional cap on the number of SGD updates (used by
         RMSE-versus-updates experiments); ``None`` means unlimited.
+    kernel_backend:
+        SGD kernel execution strategy: ``"list"`` (scalar Python loops,
+        fastest at small k), ``"numpy"`` (k-vectorized ndarray loops,
+        fastest at large k), or ``"auto"`` (pick by latent dimension; see
+        :func:`repro.linalg.backends.resolve_backend`).  Defaults to the
+        ``NOMAD_KERNEL_BACKEND`` environment variable when set, else
+        ``"auto"``.
     """
 
     duration: float = 10.0
     eval_interval: float = 0.5
     seed: int = 0
     max_updates: int | None = None
+    kernel_backend: str = field(default_factory=_default_kernel_backend)
 
     def __post_init__(self) -> None:
         if not math.isfinite(self.duration) or self.duration <= 0:
@@ -102,6 +130,13 @@ class RunConfig:
         if self.max_updates is not None and self.max_updates < 1:
             raise ConfigError(
                 f"max_updates must be >= 1 or None, got {self.max_updates}"
+            )
+        valid = _valid_kernel_backends()
+        if self.kernel_backend not in valid:
+            raise ConfigError(
+                f"kernel_backend must be one of {valid}, got "
+                f"{self.kernel_backend!r} (also settable via "
+                "$NOMAD_KERNEL_BACKEND)"
             )
 
     def with_(self, **changes) -> "RunConfig":

@@ -18,11 +18,14 @@ Because each ``w_i`` is only ever touched by its owning worker and each
 conflict-free and the execution is serializable; the optional update log
 feeds :mod:`repro.core.serializability`, which verifies exactly that.
 
-Implementation note.  Factors are held as Python lists of per-row lists and
-updated by the fast scalar kernels of :mod:`repro.linalg.kernels`; at small
-latent dimensions this is ~5× faster than ndarray row arithmetic.  The
-:attr:`NomadSimulation.factors` property materializes a
-:class:`~repro.linalg.factors.FactorPair` view on demand (evaluation,
+Implementation note.  Factors are held in the storage of the selected
+kernel backend (:mod:`repro.linalg.backends`) — nested Python lists under
+the default small-``k`` list backend, ndarrays under the numpy backend —
+and mutated in place by that backend's kernels.  The backend is chosen by
+``RunConfig.kernel_backend`` (or the ``NOMAD_KERNEL_BACKEND`` environment
+variable), with ``"auto"`` picking by latent dimension.  The
+:attr:`NomadSimulation.factors` property materializes a decoupled
+:class:`~repro.linalg.factors.FactorPair` snapshot on demand (evaluation,
 post-run inspection).
 """
 
@@ -37,7 +40,7 @@ from ..config import HyperParams, RunConfig
 from ..datasets.ratings import RatingMatrix
 from ..errors import ConfigError, SimulationError
 from ..linalg.factors import FactorPair, init_factors
-from ..linalg.kernels import sgd_process_column_fast, sgd_process_column_loss_fast
+from ..linalg.backends import resolve_backend
 from ..linalg.losses import Loss, SquaredLoss
 from ..linalg.objective import test_rmse
 from ..partition.assignments import OwnershipLedger
@@ -176,9 +179,10 @@ class NomadSimulation:
             raise ConfigError(
                 f"factor dimension {factors.k} != hyper.k {hyper.k}"
             )
-        # Fast-kernel representation: per-row Python lists, mutated in place.
-        self._w_rows: list[list[float]] = factors.w.tolist()
-        self._h_rows: list[list[float]] = factors.h.tolist()
+        # Factors live in the backend's preferred storage and are mutated
+        # in place by its kernels (lists for "list", ndarrays for "numpy").
+        self._backend = resolve_backend(run.kernel_backend, k=hyper.k)
+        self._w_store, self._h_store = self._backend.make_store(factors)
 
         p = cluster.n_workers
         if self.options.partition == "rows":
@@ -211,6 +215,7 @@ class NomadSimulation:
         self._network_hops = 0
         self._local_hops = 0
         self._halted = False
+        self._halt_time: float | None = None
         self._trace = Trace(
             algorithm="NOMAD",
             n_workers=p,
@@ -242,7 +247,7 @@ class NomadSimulation:
     @property
     def factors(self) -> FactorPair:
         """Materialized (W, H) snapshot of the current model state."""
-        return FactorPair(np.asarray(self._w_rows), np.asarray(self._h_rows))
+        return self._backend.export(self._w_store, self._h_store)
 
     @property
     def total_updates(self) -> int:
@@ -270,7 +275,7 @@ class NomadSimulation:
         """Algorithm 1 lines 7–10: items scattered uniformly at random."""
         for j in range(self.train.n_cols):
             q = self._routing_rng.randrange(self.cluster.n_workers)
-            token = ItemToken(item=j, vector=self._h_rows[j])
+            token = ItemToken(item=j, vector=self._backend.row(self._h_store, j))
             self._queues[q].append(token)
             self._ledger.acquire(j, q)
 
@@ -327,8 +332,8 @@ class NomadSimulation:
                     )
                     self._log_seq += 1
             if self.options.loss is None:
-                applied = sgd_process_column_fast(
-                    self._w_rows,
+                applied = self._backend.process_column(
+                    self._w_store,
                     token.vector,
                     users,
                     self._col_ratings[q][j],
@@ -338,8 +343,8 @@ class NomadSimulation:
                     self.hyper.lambda_,
                 )
             else:
-                applied = sgd_process_column_loss_fast(
-                    self._w_rows,
+                applied = self._backend.process_column_loss(
+                    self._w_store,
                     token.vector,
                     users,
                     self._col_ratings[q][j],
@@ -441,10 +446,18 @@ class NomadSimulation:
     def _check_update_budget(self) -> bool:
         maximum = self.run_config.max_updates
         if maximum is not None and self._total_updates >= maximum and not self._halted:
+            # Record one final point at the halt time; _record_point then
+            # suppresses the already-scheduled evaluation events, which
+            # would otherwise pad the trace with identical-RMSE points
+            # until `duration`.
             self._halted = True
+            self._halt_time = self._sim.now
+            self._record_point(self._halt_time)
         return self._halted
 
     def _record_point(self, time: float) -> None:
+        if self._halt_time is not None and time > self._halt_time:
+            return
         if self._trace.records and self._trace.records[-1].time >= time:
             return
         rmse = test_rmse(self.factors, self.test)

@@ -2,12 +2,24 @@
 
 Everything an optimizer touches numerically lives here so that NOMAD and
 all baselines share one audited implementation of the update mathematics.
+The SGD inner loops are provided by the pluggable backends of
+:mod:`repro.linalg.backends` (selected per run via
+``RunConfig.kernel_backend`` / the ``NOMAD_KERNEL_BACKEND`` environment
+variable); :mod:`repro.linalg.kernels` keeps thin function wrappers over
+them plus the ALS/CCD++ closed-form kernels.
 """
 
 from .factors import FactorPair, init_factors
 from .losses import Loss, SquaredLoss
 from .regularizers import Regularizer, WeightedL2
 from .objective import regularized_objective, test_rmse, predict
+from .backends import (
+    KernelBackend,
+    ListBackend,
+    NumpyBackend,
+    get_backend,
+    resolve_backend,
+)
 from .kernels import (
     sgd_update_pair,
     sgd_process_column,
@@ -25,6 +37,11 @@ __all__ = [
     "regularized_objective",
     "test_rmse",
     "predict",
+    "KernelBackend",
+    "ListBackend",
+    "NumpyBackend",
+    "get_backend",
+    "resolve_backend",
     "sgd_update_pair",
     "sgd_process_column",
     "als_solve_row",

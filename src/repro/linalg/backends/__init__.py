@@ -1,0 +1,117 @@
+"""Pluggable SGD kernel backends and their selection policy.
+
+One :class:`~repro.linalg.backends.base.KernelBackend` packages the four
+SGD inner-loop variants (column, column-with-loss, entries,
+entries-const-step) behind a single interface; two implementations ship:
+
+* ``"list"`` — :class:`ListBackend`, scalar Python loops over nested
+  lists; fastest at small latent dimensions where ndarray per-call
+  overhead dominates.
+* ``"numpy"`` — :class:`NumpyBackend`, sequential updates with
+  k-vectorized ndarray arithmetic; fastest at large latent dimensions
+  and the native choice for shared-memory (ndarray) factor storage.
+
+Selection
+---------
+Optimizers resolve their backend with :func:`resolve_backend`:
+
+* an explicit name (``"list"`` / ``"numpy"``) always wins;
+* ``"auto"`` (the default) picks by latent dimension — list below
+  ``AUTO_NUMPY_MIN_K``, numpy at or above it — except when the caller
+  declares ndarray storage (the real runtimes), where numpy is native;
+* the ``NOMAD_KERNEL_BACKEND`` environment variable supplies the default
+  for every :class:`~repro.config.RunConfig` that doesn't set
+  ``kernel_backend`` explicitly.
+
+The crossover constant comes from ``benchmarks/test_kernel_backends.py``,
+which records updates/sec per backend for k ∈ {8, 32, 100} into
+``results/kernel_backends.json`` so future backends (numba, Cython, GPU)
+have an honest baseline to beat.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ...errors import ConfigError
+from .base import KernelBackend
+from .list_backend import ListBackend
+from .numpy_backend import NumpyBackend
+
+__all__ = [
+    "KernelBackend",
+    "ListBackend",
+    "NumpyBackend",
+    "BACKENDS",
+    "AUTO_NUMPY_MIN_K",
+    "ENV_VAR",
+    "get_backend",
+    "resolve_backend",
+]
+
+#: Environment variable supplying the default backend name.
+ENV_VAR = "NOMAD_KERNEL_BACKEND"
+
+#: Latent dimension at which ``"auto"`` switches from list to numpy
+#: kernels (measured crossover is between k≈32 and k≈100 on CPython;
+#: see benchmarks/test_kernel_backends.py).
+AUTO_NUMPY_MIN_K = 64
+
+#: Registry of instantiable backends, keyed by selection name.
+BACKENDS: dict[str, type[KernelBackend]] = {
+    ListBackend.name: ListBackend,
+    NumpyBackend.name: NumpyBackend,
+}
+
+_INSTANCES: dict[str, KernelBackend] = {}
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Return the (shared, stateless) backend instance registered as ``name``."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        valid = ", ".join(sorted(set(BACKENDS) | {"auto"}))
+        raise ConfigError(
+            f"unknown kernel backend {name!r}; valid values are {valid} "
+            f"(settable via RunConfig.kernel_backend or ${ENV_VAR})"
+        ) from None
+    if name not in _INSTANCES:
+        _INSTANCES[name] = cls()
+    return _INSTANCES[name]
+
+
+def resolve_backend(
+    name: str | None = "auto",
+    *,
+    k: int | None = None,
+    storage: str = "list",
+) -> KernelBackend:
+    """Resolve a configured backend name to an instance.
+
+    Parameters
+    ----------
+    name:
+        ``"list"``, ``"numpy"``, or ``"auto"``.  ``None`` means "not
+        configured": consult ``$NOMAD_KERNEL_BACKEND``, falling back to
+        ``"auto"`` (this is how the real runtimes honor the env var;
+        :class:`~repro.config.RunConfig` reads it itself).
+    k:
+        Latent dimension steering the ``"auto"`` choice; ``None`` defers
+        to the storage default.
+    storage:
+        ``"list"`` for optimizers that can hold factors in any
+        representation, ``"ndarray"`` for callers whose factors must stay
+        ndarrays (shared-memory runtimes) — there ``"auto"`` resolves to
+        the numpy backend regardless of ``k`` because list kernels on
+        ndarray rows pay numpy-scalar overhead per element.
+    """
+    if name is None:
+        name = os.environ.get(ENV_VAR, "auto")
+    if name == "auto":
+        if storage == "ndarray":
+            return get_backend(NumpyBackend.name)
+        if k is not None and k >= AUTO_NUMPY_MIN_K:
+            return get_backend(NumpyBackend.name)
+        return get_backend(ListBackend.name)
+    return get_backend(name)

@@ -1,0 +1,172 @@
+"""List-based scalar SGD backend — the small-``k`` fast path.
+
+For the small latent dimensions of the scaled experiments (k ≲ 64),
+NumPy's per-call overhead dominates the inner loop; plain Python float
+arithmetic over nested lists is several times faster.  All four kernel
+variants funnel into one parameterized core, :func:`sgd_core`, so the
+update mathematics exists exactly once::
+
+    s      = α / (1 + β·t^1.5)          (or the constant step)
+    g      = dℓ/dp(a, ⟨w, h⟩)           (p − a for the square loss)
+    w[d]   ← (1 − s·λ)·w[d] − s·g·h[d]
+    h[d]   ← (1 − s·λ)·h[d] − s·g·w_old[d]
+
+with both updates computed from the *old* row values — a simultaneous
+gradient step on the sampled term of equation (1), and the algebraically
+expanded form of ``w ← w − s·(g·h + λ·w)``.
+
+The core also runs correctly (though slower) on ndarray factors, because
+it only relies on ``rows[i]`` returning a mutable row and scalar
+``row[d]`` indexing; the shared-memory runtimes exploit this when the
+user pins ``NOMAD_KERNEL_BACKEND=list``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..factors import FactorPair
+from ..losses import Loss
+from .base import KernelBackend
+
+__all__ = ["ListBackend", "sgd_core"]
+
+
+def sgd_core(
+    w_rows: Any,
+    h_rows: Any,
+    h_col: Any,
+    entry_rows: Sequence[int],
+    entry_cols: Sequence[int] | None,
+    ratings: Sequence[float],
+    counts: Sequence[int] | None,
+    order: Sequence[int],
+    alpha: float,
+    beta: float,
+    lambda_: float,
+    step: float,
+    dloss,
+) -> int:
+    """The one sequential SGD inner loop behind every list-kernel variant.
+
+    Parameters
+    ----------
+    w_rows:
+        Row-indexable user factors; ``w_rows[i]`` is mutated in place.
+    h_rows, h_col:
+        Exactly one is used: ``h_col`` (non-``None``) pins every visit to
+        one shared item vector (column variants); otherwise the item row
+        is looked up as ``h_rows[entry_cols[idx]]`` (entries variants).
+    entry_rows, entry_cols, ratings:
+        Per-visit user index, item index (ignored when ``h_col`` is
+        given), and rating value, indexed by elements of ``order``.
+    counts:
+        Per-rating update counters driving the equation (11) schedule,
+        mutated in place; ``None`` selects the constant ``step`` instead.
+    order:
+        Visit order (``range(n)`` for the column variants).
+    dloss:
+        ``loss.dloss_dpred`` for a generic separable loss, or ``None``
+        for the inlined square loss.
+
+    Returns the number of updates applied.
+    """
+    fixed_h = h_col is not None
+    k = len(h_col) if fixed_h else (len(w_rows[0]) if len(w_rows) else 0)
+    dims = range(k)
+    scheduled = counts is not None
+    if not scheduled:
+        decay = 1.0 - step * lambda_
+        scaled_step = step
+    applied = 0
+    for idx in order:
+        w_row = w_rows[entry_rows[idx]]
+        h_row = h_col if fixed_h else h_rows[entry_cols[idx]]
+        if scheduled:
+            t = counts[idx]
+            scaled_step = alpha / (1.0 + beta * t ** 1.5)
+            counts[idx] = t + 1
+            decay = 1.0 - scaled_step * lambda_
+        prediction = 0.0
+        for d in dims:
+            prediction += w_row[d] * h_row[d]
+        if dloss is None:
+            gradient = prediction - ratings[idx]
+        else:
+            gradient = dloss(ratings[idx], prediction)
+        scaled_error = scaled_step * gradient
+        for d in dims:
+            w_value = w_row[d]
+            w_row[d] = decay * w_value - scaled_error * h_row[d]
+            h_row[d] = decay * h_row[d] - scaled_error * w_value
+        applied += 1
+    return applied
+
+
+class ListBackend(KernelBackend):
+    """Nested-list factor storage with pure-Python scalar kernels."""
+
+    name = "list"
+
+    # ------------------------------------------------------------------
+    # Factor storage
+    # ------------------------------------------------------------------
+    def make_store(self, factors: FactorPair) -> tuple[list, list]:
+        return factors.w.tolist(), factors.h.tolist()
+
+    def export(self, w: Any, h: Any) -> FactorPair:
+        return FactorPair(np.array(w, dtype=np.float64), np.array(h, dtype=np.float64))
+
+    def row(self, store: Any, index: int) -> Any:
+        return store[index]
+
+    def copy_rows(self, store: Any) -> Any:
+        if isinstance(store, np.ndarray):
+            return store.copy()
+        return [row[:] for row in store]
+
+    def restore_rows(self, store: Any, snapshot: Any) -> None:
+        for index, row in enumerate(snapshot):
+            store[index][:] = row
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def process_column(
+        self, w, h_col, user_rows, ratings, counts, alpha, beta, lambda_
+    ) -> int:
+        return sgd_core(
+            w, None, h_col, user_rows, None, ratings, counts,
+            range(len(user_rows)), alpha, beta, lambda_, 0.0, None,
+        )
+
+    def process_column_loss(
+        self, w, h_col, user_rows, ratings, counts, alpha, beta, lambda_, loss: Loss
+    ) -> int:
+        return sgd_core(
+            w, None, h_col, user_rows, None, ratings, counts,
+            range(len(user_rows)), alpha, beta, lambda_, 0.0, loss.dloss_dpred,
+        )
+
+    def process_entries(
+        self, w, h, entry_rows, entry_cols, ratings, counts, alpha, beta,
+        lambda_, order,
+    ) -> int:
+        if len(entry_rows) == 0:
+            return 0
+        return sgd_core(
+            w, h, None, entry_rows, entry_cols, ratings, counts, order,
+            alpha, beta, lambda_, 0.0, None,
+        )
+
+    def process_entries_const(
+        self, w, h, entry_rows, entry_cols, ratings, step, lambda_, order
+    ) -> int:
+        if len(entry_rows) == 0:
+            return 0
+        return sgd_core(
+            w, h, None, entry_rows, entry_cols, ratings, None, order,
+            0.0, 0.0, lambda_, step, None,
+        )

@@ -5,14 +5,29 @@ index arrays in, in-place factor mutation out — so that NOMAD, DSGD, FPSGD
 and the coordinate/ALS methods all execute byte-identical mathematics and
 differ only in *scheduling*, which is exactly the comparison the paper makes.
 
+Since the kernel-backend refactor, the six historical SGD loop variants in
+this module are thin wrappers over :mod:`repro.linalg.backends`, which holds
+exactly one parameterized inner loop per execution strategy:
+
+* the ndarray functions (:func:`sgd_process_column`,
+  :func:`sgd_process_entries`) delegate to
+  :class:`~repro.linalg.backends.NumpyBackend`;
+* the ``*_fast`` list functions delegate to
+  :class:`~repro.linalg.backends.ListBackend`.
+
+New code should depend on a :class:`~repro.linalg.backends.KernelBackend`
+(resolved via :func:`~repro.linalg.backends.resolve_backend`) rather than
+these module-level functions; the wrappers remain for callers that pin one
+concrete representation.
+
 A note on the SGD update sign: Algorithm 1 of the paper writes the update as
 ``w ← w − s·[(A − ⟨w,h⟩)h + λw]``, which contains a well-known typo (the
 data term there is the *negative* gradient).  The mathematically correct
 gradient step implemented here is::
 
     e = ⟨w, h⟩ − A                (dℓ/dprediction for the square loss)
-    w ← w − s · (e·h + λ·w)
-    h ← h − s · (e·w + λ·h)
+    w ← (1 − s·λ)·w − s·e·h
+    h ← (1 − s·λ)·h − s·e·w_old
 
 with both updates computed from the *old* values of ``w`` and ``h``, matching
 a simultaneous gradient step on the sampled term of equation (1).
@@ -22,6 +37,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .backends import ListBackend, NumpyBackend
 from .losses import Loss
 
 __all__ = [
@@ -35,6 +51,9 @@ __all__ = [
     "als_solve_row",
     "ccd_coordinate_update",
 ]
+
+_LIST = ListBackend()
+_NUMPY = NumpyBackend()
 
 
 def sgd_update_pair(
@@ -64,42 +83,16 @@ def sgd_process_column(
     """Process all local ratings of one item — NOMAD's token work (§3.1).
 
     Runs the sequential SGD updates of Algorithm 1 lines 16–21 over the set
-    Ω̄^(q)_j.  The step size follows equation (11),
-    ``s_t = α / (1 + β·t^1.5)``, where ``t`` is the per-rating update count
-    maintained in ``counts`` (incremented here).
+    Ω̄^(q)_j on ndarray factors, via the numpy backend.  The step size
+    follows equation (11), ``s_t = α / (1 + β·t^1.5)``, where ``t`` is the
+    per-rating update count maintained in ``counts`` (incremented here).
 
-    Parameters
-    ----------
-    w:
-        Full user-factor matrix; rows ``user_rows`` are updated in place.
-    h_col:
-        The nomadic item vector ``h_j``; updated in place.
-    user_rows:
-        Local user indices with ratings of this item.
-    ratings:
-        Rating values aligned with ``user_rows``.
-    counts:
-        Per-rating update counters aligned with ``user_rows``; mutated.
-    alpha, beta:
-        Schedule constants of equation (11).
-    lambda_:
-        Regularization constant.
-
-    Returns
-    -------
-    Number of SGD updates applied (== ``len(user_rows)``).
+    ``w`` rows listed in ``user_rows`` and ``h_col`` are updated in place;
+    returns the number of SGD updates applied (== ``len(user_rows)``).
     """
-    for idx in range(user_rows.size):
-        i = user_rows[idx]
-        t = counts[idx]
-        step = alpha / (1.0 + beta * t ** 1.5)
-        counts[idx] = t + 1
-        w_row = w[i]
-        error = float(np.dot(w_row, h_col)) - ratings[idx]
-        w_old = w_row.copy()
-        w_row -= step * (error * h_col + lambda_ * w_row)
-        h_col -= step * (error * w_old + lambda_ * h_col)
-    return int(user_rows.size)
+    return _NUMPY.process_column(
+        w, h_col, user_rows, ratings, counts, alpha, beta, lambda_
+    )
 
 
 def sgd_process_entries(
@@ -116,27 +109,17 @@ def sgd_process_entries(
 ) -> int:
     """Run sequential SGD over an arbitrary list of observed entries.
 
-    Used by DSGD/DSGD++/FPSGD block passes and the serial baseline.  The
-    entries are visited in ``order`` (default: given order); each visit uses
-    and increments its per-rating counter, keeping the step-size schedule
-    identical to NOMAD's.
+    Used by DSGD/DSGD++/FPSGD block passes and the serial baseline when
+    factors are ndarrays.  The entries are visited in ``order`` (default:
+    given order); each visit uses and increments its per-rating counter,
+    keeping the step-size schedule identical to NOMAD's.
 
     Returns the number of updates applied.
     """
-    indices = order if order is not None else np.arange(rows.size)
-    for idx in indices:
-        i = rows[idx]
-        j = cols[idx]
-        t = counts[idx]
-        step = alpha / (1.0 + beta * t ** 1.5)
-        counts[idx] = t + 1
-        w_row = w[i]
-        h_col = h[j]
-        error = float(np.dot(w_row, h_col)) - ratings[idx]
-        w_old = w_row.copy()
-        w_row -= step * (error * h_col + lambda_ * w_row)
-        h_col -= step * (error * w_old + lambda_ * h_col)
-    return int(len(indices))
+    indices = order if order is not None else range(len(rows))
+    return _NUMPY.process_entries(
+        w, h, rows, cols, ratings, counts, alpha, beta, lambda_, indices
+    )
 
 
 def sgd_process_column_fast(
@@ -151,35 +134,17 @@ def sgd_process_column_fast(
 ) -> int:
     """List-based fast path of :func:`sgd_process_column`.
 
-    For the small latent dimensions used in scaled experiments (k ≤ 32),
+    For the small latent dimensions used in scaled experiments (k ≲ 64),
     NumPy's per-call overhead dominates the inner loop; plain Python float
-    arithmetic over lists is ~5× faster.  The mathematics is algebraically
-    identical to the ndarray kernel (verified by an equivalence test):
-    ``w ← (1−s·λ)·w − s·e·h`` and ``h ← (1−s·λ)·h − s·e·w_old``.
-
-    All list arguments are mutated in place; ``w_rows`` is a list of
-    per-user lists, ``h_col`` one item's coordinate list.
+    arithmetic over lists is several times faster.  The mathematics is the
+    list backend's single parameterized core (verified equivalent by the
+    cross-backend suite).  All list arguments are mutated in place.
 
     Returns the number of updates applied.
     """
-    k = len(h_col)
-    dims = range(k)
-    n = len(user_rows)
-    for idx in range(n):
-        w_row = w_rows[user_rows[idx]]
-        t = counts[idx]
-        step = alpha / (1.0 + beta * t ** 1.5)
-        counts[idx] = t + 1
-        error = -ratings[idx]
-        for d in dims:
-            error += w_row[d] * h_col[d]
-        scaled_error = step * error
-        decay = 1.0 - step * lambda_
-        for d in dims:
-            w_value = w_row[d]
-            w_row[d] = decay * w_value - scaled_error * h_col[d]
-            h_col[d] = decay * h_col[d] - scaled_error * w_value
-    return n
+    return _LIST.process_column(
+        w_rows, h_col, user_rows, ratings, counts, alpha, beta, lambda_
+    )
 
 
 def sgd_process_column_loss_fast(
@@ -199,35 +164,13 @@ def sgd_process_column_loss_fast(
     form ``Σ f_ij(w_i, h_j)``; this kernel realizes that for any separable
     :class:`~repro.linalg.losses.Loss`: the square-loss error term
     ``⟨w,h⟩ − a`` generalizes to ``loss.dloss_dpred(a, ⟨w,h⟩)`` and the
-    update structure is otherwise identical::
-
-        g = dℓ/dp(a, ⟨w, h⟩)
-        w ← (1−s·λ)·w − s·g·h
-        h ← (1−s·λ)·h − s·g·w_old
-
-    Slower than the specialized kernel (one Python call per update), so the
-    square-loss fast path remains the default.
+    update structure is otherwise identical.  Slower than the specialized
+    kernel (one Python call per update), so the square-loss fast path
+    remains the default.
     """
-    k = len(h_col)
-    dims = range(k)
-    n = len(user_rows)
-    dloss = loss.dloss_dpred
-    for idx in range(n):
-        w_row = w_rows[user_rows[idx]]
-        t = counts[idx]
-        step = alpha / (1.0 + beta * t ** 1.5)
-        counts[idx] = t + 1
-        prediction = 0.0
-        for d in dims:
-            prediction += w_row[d] * h_col[d]
-        gradient = dloss(ratings[idx], prediction)
-        scaled = step * gradient
-        decay = 1.0 - step * lambda_
-        for d in dims:
-            w_value = w_row[d]
-            w_row[d] = decay * w_value - scaled * h_col[d]
-            h_col[d] = decay * h_col[d] - scaled * w_value
-    return n
+    return _LIST.process_column_loss(
+        w_rows, h_col, user_rows, ratings, counts, alpha, beta, lambda_, loss
+    )
 
 
 def sgd_process_entries_fast(
@@ -248,26 +191,10 @@ def sgd_process_entries_fast(
     baselines (DSGD, DSGD++, FPSGD**) whose inner loops are identical to
     NOMAD's and must stay cost-comparable for a fair shape comparison.
     """
-    if not entry_rows:
-        return 0
-    k = len(w_rows[0])
-    dims = range(k)
-    for idx in order:
-        w_row = w_rows[entry_rows[idx]]
-        h_row = h_rows[entry_cols[idx]]
-        t = counts[idx]
-        step = alpha / (1.0 + beta * t ** 1.5)
-        counts[idx] = t + 1
-        error = -ratings[idx]
-        for d in dims:
-            error += w_row[d] * h_row[d]
-        scaled_error = step * error
-        decay = 1.0 - step * lambda_
-        for d in dims:
-            w_value = w_row[d]
-            w_row[d] = decay * w_value - scaled_error * h_row[d]
-            h_row[d] = decay * h_row[d] - scaled_error * w_value
-    return len(order)
+    return _LIST.process_entries(
+        w_rows, h_rows, entry_rows, entry_cols, ratings, counts,
+        alpha, beta, lambda_, order,
+    )
 
 
 def sgd_process_entries_const_fast(
@@ -286,23 +213,9 @@ def sgd_process_entries_const_fast(
     driver (§5.1) instead of per-rating counters, so their inner loop takes
     the step as a scalar.  Mathematics is otherwise identical.
     """
-    if not entry_rows:
-        return 0
-    k = len(w_rows[0])
-    dims = range(k)
-    decay = 1.0 - step * lambda_
-    for idx in order:
-        w_row = w_rows[entry_rows[idx]]
-        h_row = h_rows[entry_cols[idx]]
-        error = -ratings[idx]
-        for d in dims:
-            error += w_row[d] * h_row[d]
-        scaled_error = step * error
-        for d in dims:
-            w_value = w_row[d]
-            w_row[d] = decay * w_value - scaled_error * h_row[d]
-            h_row[d] = decay * h_row[d] - scaled_error * w_value
-    return len(order)
+    return _LIST.process_entries_const(
+        w_rows, h_rows, entry_rows, entry_cols, ratings, step, lambda_, order
+    )
 
 
 def als_solve_row(

@@ -19,6 +19,20 @@ Because ownership is exclusive by construction, no locks guard any float:
 the only synchronized objects are the queues themselves, exactly as in the
 paper ("the only interaction between threads is via operations on the
 queue", §3.5).
+
+Two runtime caveats:
+
+* **Start method.**  The per-worker queue mailboxes are passed positionally
+  through ``Process(args=...)``, which only works when children inherit
+  them — i.e. under the ``fork`` start method.  This runtime therefore
+  requests an explicit fork context and raises
+  :class:`~repro.errors.ConfigError` on platforms without it (macOS and
+  Windows default to ``spawn``); use
+  :class:`~repro.runtime.threaded.ThreadedNomad` or the simulator there.
+* **Timing.**  ``wall_seconds`` covers the parallel section only: it is
+  stamped the moment the stop event is set.  Result collection and process
+  joins (up to ``_JOIN_TIMEOUT`` each) are reported separately as
+  ``join_seconds`` so shutdown cost can never inflate throughput numbers.
 """
 
 from __future__ import annotations
@@ -34,8 +48,8 @@ from multiprocessing import shared_memory
 from ..config import HyperParams
 from ..datasets.ratings import RatingMatrix, Shard
 from ..errors import ConfigError
+from ..linalg.backends import get_backend, resolve_backend
 from ..linalg.factors import FactorPair, init_factors
-from ..linalg.kernels import sgd_process_column
 from ..linalg.objective import test_rmse
 from ..partition.partitioners import partition_rows_equal_ratings
 from ..rng import RngFactory, derive_pyrandom
@@ -50,7 +64,9 @@ _JOIN_TIMEOUT = 10.0
 class MultiprocessResult:
     """Outcome of a multiprocess NOMAD run.
 
-    Attributes mirror :class:`~repro.runtime.threaded.ThreadedResult`.
+    Attributes mirror :class:`~repro.runtime.threaded.ThreadedResult`:
+    ``wall_seconds`` is the parallel section only (stamped at the stop
+    signal) and ``join_seconds`` the result-collection/join overhead.
     """
 
     factors: FactorPair
@@ -58,6 +74,26 @@ class MultiprocessResult:
     wall_seconds: float
     rmse: float
     updates_per_worker: list[int]
+    join_seconds: float = 0.0
+
+
+def _fork_context() -> mp.context.BaseContext:
+    """The explicit ``fork`` multiprocessing context this runtime needs.
+
+    The mailboxes are plain ``context.Queue()`` objects handed to children
+    positionally through ``Process(args=...)``; only forked children can
+    inherit them.  Raising here (rather than crashing inside ``spawn``
+    pickling) names the limitation and the alternatives.
+    """
+    if "fork" not in mp.get_all_start_methods():
+        raise ConfigError(
+            "MultiprocessNomad requires the 'fork' start method, which is "
+            "unavailable on this platform (macOS/Windows default to "
+            "'spawn', under which the per-worker Queue mailboxes cannot "
+            "be passed through Process(args=...)); use ThreadedNomad or "
+            "the discrete-event simulator instead"
+        )
+    return mp.get_context("fork")
 
 
 def _worker_main(
@@ -70,14 +106,23 @@ def _worker_main(
     shard_rows: np.ndarray,
     shard_cols: np.ndarray,
     shard_vals: np.ndarray,
-    hyper: tuple[int, float, float, float],
+    hyper: HyperParams,
+    backend_name: str,
     seed: int,
     mailboxes: list,
     stop_event,
     result_queue,
 ) -> None:
-    """Entry point of one worker process (module-level for picklability)."""
-    alpha, k, beta, lambda_ = hyper
+    """Entry point of one worker process (module-level for picklability).
+
+    ``hyper`` travels as the :class:`~repro.config.HyperParams` dataclass
+    itself — named field access instead of positional tuple unpacking, so
+    a field reorder can never silently swap α and λ.
+    """
+    alpha = hyper.alpha
+    beta = hyper.beta
+    lambda_ = hyper.lambda_
+    backend = get_backend(backend_name)
 
     shm_w = shared_memory.SharedMemory(name=shm_w_name)
     shm_h = shared_memory.SharedMemory(name=shm_h_name)
@@ -106,7 +151,7 @@ def _worker_main(
             users, ratings = shard.column(token)
             if users.size:
                 lo, hi = shard.column_bounds(token)
-                updates += sgd_process_column(
+                updates += backend.process_column(
                     w, h[token], users, ratings, counts[lo:hi],
                     alpha, beta, lambda_,
                 )
@@ -132,6 +177,11 @@ class MultiprocessNomad:
         Model hyperparameters.
     seed:
         Root seed (initialization, token scattering, per-worker routing).
+    kernel_backend:
+        Kernel backend name (``"auto"``/``"list"``/``"numpy"``); ``None``
+        (default) consults ``$NOMAD_KERNEL_BACKEND``, then ``"auto"``.
+        The shared-memory factors are ndarrays, so ``"auto"`` resolves to
+        the numpy backend.
     """
 
     def __init__(
@@ -141,6 +191,7 @@ class MultiprocessNomad:
         n_workers: int,
         hyper: HyperParams,
         seed: int = 0,
+        kernel_backend: str | None = None,
     ):
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
@@ -151,6 +202,9 @@ class MultiprocessNomad:
         self.n_workers = int(n_workers)
         self.hyper = hyper
         self.seed = int(seed)
+        self.backend = resolve_backend(
+            kernel_backend, k=hyper.k, storage="ndarray"
+        )
 
     def run(self, duration_seconds: float = 1.0) -> MultiprocessResult:
         """Run the worker pool for ``duration_seconds`` of wall time."""
@@ -180,7 +234,7 @@ class MultiprocessNomad:
             w_shared[:] = init.w
             h_shared[:] = init.h
 
-            context = mp.get_context()
+            context = _fork_context()
             mailboxes = [context.Queue() for _ in range(self.n_workers)]
             stop_event = context.Event()
             result_queue = context.Queue()
@@ -204,12 +258,8 @@ class MultiprocessNomad:
                         self.train.rows[mask],
                         self.train.cols[mask],
                         self.train.vals[mask],
-                        (
-                            self.hyper.alpha,
-                            self.hyper.k,
-                            self.hyper.beta,
-                            self.hyper.lambda_,
-                        ),
+                        self.hyper,
+                        self.backend.name,
                         self.seed,
                         mailboxes,
                         stop_event,
@@ -224,6 +274,10 @@ class MultiprocessNomad:
                 process.start()
             time.sleep(duration_seconds)
             stop_event.set()
+            # End of the parallel section: stamp the wall clock now, so
+            # result collection and joins (each bounded by _JOIN_TIMEOUT)
+            # can never inflate the reported parallel time.
+            wall = time.perf_counter() - started
 
             per_worker = [0] * self.n_workers
             collected = 0
@@ -235,13 +289,13 @@ class MultiprocessNomad:
                     continue
                 per_worker[worker_id] = n_updates
                 collected += 1
-            wall = time.perf_counter() - started
 
             for process in processes:
                 process.join(timeout=_JOIN_TIMEOUT)
                 if process.is_alive():
                     process.terminate()
                     process.join()
+            join_seconds = time.perf_counter() - started - wall
 
             final = FactorPair(w_shared.copy(), h_shared.copy())
         finally:
@@ -256,4 +310,5 @@ class MultiprocessNomad:
             wall_seconds=wall,
             rmse=test_rmse(final, self.test),
             updates_per_worker=per_worker,
+            join_seconds=join_seconds,
         )

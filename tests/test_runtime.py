@@ -2,15 +2,21 @@
 
 from __future__ import annotations
 
+import inspect
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro.config import HyperParams
 from repro.errors import ConfigError
+from repro.linalg.backends import ListBackend, NumpyBackend
 from repro.linalg.factors import init_factors
 from repro.linalg.objective import test_rmse as compute_test_rmse
 from repro.rng import RngFactory
-from repro.runtime.multiprocess import MultiprocessNomad
+from repro.runtime import multiprocess as mp_module
+from repro.runtime.multiprocess import MultiprocessNomad, _worker_main
 from repro.runtime.threaded import ThreadedNomad
 
 HYPER = HyperParams(k=4, lambda_=0.01, alpha=0.1, beta=0.01)
@@ -96,3 +102,111 @@ class TestMultiprocessNomad:
         runner = MultiprocessNomad(train, test, n_workers=1, hyper=HYPER)
         with pytest.raises(ConfigError):
             runner.run(duration_seconds=-1.0)
+
+    def test_requires_fork_start_method(self, tiny_split, monkeypatch):
+        """Regression: without fork, fail with a clear ConfigError instead
+        of crashing inside spawn's pickling of the Queue mailboxes."""
+        train, test = tiny_split
+        runner = MultiprocessNomad(train, test, n_workers=1, hyper=HYPER)
+        monkeypatch.setattr(
+            mp_module.mp, "get_all_start_methods", lambda: ["spawn"]
+        )
+        with pytest.raises(ConfigError, match="fork"):
+            runner.run(duration_seconds=0.1)
+
+    def test_worker_takes_named_hyperparams(self):
+        """Regression: hyperparameters cross the process boundary as the
+        HyperParams dataclass (named fields), not a positional tuple whose
+        reorder could silently swap alpha and lambda."""
+        hyper_param = inspect.signature(_worker_main).parameters["hyper"]
+        assert hyper_param.annotation == "HyperParams"
+
+
+class TestTimingSemantics:
+    """wall_seconds covers the parallel section only (stamped at the stop
+    signal); shutdown cost is reported separately as join_seconds."""
+
+    def test_threaded_wall_excludes_slow_join(self, tiny_split, monkeypatch):
+        train, test = tiny_split
+        delay = 0.25
+        real_join = threading.Thread.join
+
+        def slow_join(self, timeout=None):
+            time.sleep(delay)
+            return real_join(self, timeout)
+
+        monkeypatch.setattr(threading.Thread, "join", slow_join)
+        runner = ThreadedNomad(train, test, n_workers=2, hyper=HYPER, seed=1)
+        duration = 0.3
+        result = runner.run(duration_seconds=duration)
+        assert result.wall_seconds < duration + delay
+        assert result.join_seconds >= 2 * delay  # one per worker thread
+
+    def test_multiprocess_wall_excludes_slow_join(
+        self, tiny_split, monkeypatch
+    ):
+        train, test = tiny_split
+        delay = 0.25
+        context = mp_module._fork_context()
+        process_cls = context.Process
+        real_join = process_cls.join
+
+        def slow_join(self, timeout=None):
+            time.sleep(delay)
+            return real_join(self, timeout)
+
+        monkeypatch.setattr(process_cls, "join", slow_join)
+        runner = MultiprocessNomad(
+            train, test, n_workers=2, hyper=HYPER, seed=1
+        )
+        duration = 0.3
+        result = runner.run(duration_seconds=duration)
+        # Collection polls may add a little, but the mocked join delays
+        # must land entirely in join_seconds, never in wall_seconds.
+        assert result.wall_seconds < duration + delay
+        assert result.join_seconds >= 2 * delay
+
+
+class TestRuntimeBackends:
+    def test_auto_resolves_to_numpy(self, tiny_split):
+        train, test = tiny_split
+        assert isinstance(
+            ThreadedNomad(train, test, 1, HYPER).backend, NumpyBackend
+        )
+        assert isinstance(
+            MultiprocessNomad(train, test, 1, HYPER).backend, NumpyBackend
+        )
+
+    def test_explicit_list_backend_works(self, tiny_split):
+        train, test = tiny_split
+        runner = ThreadedNomad(
+            train, test, n_workers=1, hyper=HYPER, seed=1,
+            kernel_backend="list",
+        )
+        assert isinstance(runner.backend, ListBackend)
+        result = runner.run(duration_seconds=0.3)
+        assert result.updates > 0
+        assert np.all(np.isfinite(result.factors.w))
+
+    def test_unknown_backend_rejected(self, tiny_split):
+        train, test = tiny_split
+        with pytest.raises(ConfigError):
+            ThreadedNomad(train, test, 1, HYPER, kernel_backend="gpu")
+        with pytest.raises(ConfigError):
+            MultiprocessNomad(train, test, 1, HYPER, kernel_backend="gpu")
+
+    def test_env_var_pins_runtime_backend(self, tiny_split, monkeypatch):
+        """$NOMAD_KERNEL_BACKEND applies when no explicit name is given."""
+        train, test = tiny_split
+        monkeypatch.setenv("NOMAD_KERNEL_BACKEND", "list")
+        assert isinstance(
+            ThreadedNomad(train, test, 1, HYPER).backend, ListBackend
+        )
+        assert isinstance(
+            MultiprocessNomad(train, test, 1, HYPER).backend, ListBackend
+        )
+        # An explicit argument still beats the environment.
+        assert isinstance(
+            ThreadedNomad(train, test, 1, HYPER, kernel_backend="numpy").backend,
+            NumpyBackend,
+        )
