@@ -14,11 +14,11 @@ Run with::
 
 from __future__ import annotations
 
+import repro
 from repro import (
     COMMODITY_PROFILE,
     Cluster,
     HPC_PROFILE,
-    NomadSimulation,
     RunConfig,
     build_dataset,
 )
@@ -33,10 +33,15 @@ def sweep(train, test, hyper, network, jitter, label):
     # Start at 2 machines: the speedup baseline must itself converge
     # within the window.
     for machines in (2, 4, 8, 16):
-        cluster = Cluster(machines, 2, network, jitter=jitter)
-        run = RunConfig(duration=0.08, eval_interval=0.004, seed=1)
-        trace = NomadSimulation(train, test, cluster, hyper, run).run()
-        traces[machines] = trace
+        result = repro.fit(
+            train, test,
+            algorithm="nomad",
+            engine="simulated",
+            hyper=hyper,
+            run=RunConfig(duration=0.08, eval_interval=0.004, seed=1),
+            cluster=Cluster(machines, 2, network, jitter=jitter),
+        )
+        traces[machines] = result.trace
     rows = speedup_efficiency(traces, TARGET_RMSE)
     header = f"{'machines':>9} {'t(RMSE<=%.2f)' % TARGET_RMSE:>15} {'speedup':>8} {'efficiency':>11}"
     print(header)

@@ -6,9 +6,10 @@ highest-predicted unseen items.  This example
 
 1. generates a Netflix-like catalogue with heavy-tailed user activity
    (the §5.5 generator),
-2. trains factors with NOMAD on a simulated cluster,
-3. produces top-5 recommendations for a few users and sanity-checks them
-   against the planted ground truth.
+2. trains factors through :func:`repro.fit` on a simulated cluster,
+3. serves top-5 recommendations from the returned
+   :class:`~repro.model.CompletionModel` and sanity-checks them against
+   the planted ground truth.
 
 Run with::
 
@@ -19,25 +20,16 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro
 from repro import (
     Cluster,
     HPC_PROFILE,
     HyperParams,
-    NomadSimulation,
     RunConfig,
     RngFactory,
     make_netflix_like,
     train_test_split,
 )
-
-
-def recommend(factors, train, user, top_n=5):
-    """Top-N unseen items for ``user`` by predicted rating."""
-    seen, _ = train.items_of_user(user)
-    scores = factors.h @ factors.w[user]
-    scores[seen] = -np.inf
-    best = np.argsort(scores)[::-1][:top_n]
-    return [(int(item), float(scores[item])) for item in best]
 
 
 def main() -> None:
@@ -55,26 +47,28 @@ def main() -> None:
           f"{catalogue.nnz} ratings "
           f"(most active user rated {int(catalogue.row_counts().max())})")
 
-    hyper = HyperParams(k=8, lambda_=0.01, alpha=0.1, beta=0.01)
-    cluster = Cluster(2, 4, HPC_PROFILE, jitter=0.2)
-    run = RunConfig(duration=0.15, eval_interval=0.03, seed=42)
-    simulation = NomadSimulation(train, test, cluster, hyper, run)
-    trace = simulation.run()
-    print(f"trained: test RMSE {trace.final_rmse():.4f} after "
-          f"{trace.total_updates():,} updates\n")
+    result = repro.fit(
+        train, test,
+        algorithm="nomad",
+        engine="simulated",
+        hyper=HyperParams(k=8, lambda_=0.01, alpha=0.1, beta=0.01),
+        run=RunConfig(duration=0.15, eval_interval=0.03, seed=42),
+        cluster=Cluster(2, 4, HPC_PROFILE, jitter=0.2),
+    )
+    print(f"trained: test RMSE {result.final_rmse():.4f} after "
+          f"{result.timing.updates:,} updates\n")
 
-    factors = simulation.factors
+    model = result.model
     for user in (0, 7, 99):
         n_rated = int(train.row_counts()[user])
+        seen, _ = train.items_of_user(user)
         print(f"user {user} (rated {n_rated} movies) — top recommendations:")
-        for item, score in recommend(factors, train, user):
+        for item, score in model.recommend(user, top_n=5, exclude=seen):
             print(f"    movie {item:4d}  predicted rating {score:+.2f}")
         # Sanity: held-out ratings of this user should be predicted well.
         mask = test.rows == user
         if mask.any():
-            predictions = np.einsum(
-                "ij,ij->i", factors.w[test.rows[mask]], factors.h[test.cols[mask]]
-            )
+            predictions = model.predict_pairs(test.rows[mask], test.cols[mask])
             error = float(np.sqrt(np.mean((test.vals[mask] - predictions) ** 2)))
             print(f"    (held-out RMSE for this user: {error:.3f})")
         print()

@@ -1,7 +1,8 @@
-"""Quickstart: fit a matrix-completion model with NOMAD in ~20 lines.
+"""Quickstart: fit a matrix-completion model with ``repro.fit`` in ~15 lines.
 
-Generates the scaled Netflix surrogate, runs NOMAD on a simulated
-4-machine HPC cluster, and prints the convergence trace.
+Generates the scaled Netflix surrogate, trains NOMAD on a simulated
+4-machine HPC cluster through the unified solver facade, prints the
+convergence trace, and serves recommendations from the returned model.
 
 Run with::
 
@@ -10,41 +11,44 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    Cluster,
-    HPC_PROFILE,
-    NomadSimulation,
-    RunConfig,
-    build_dataset,
-)
+import repro
+from repro import Cluster, HPC_PROFILE, RunConfig
 
 
 def main() -> None:
     # 1. Data: the scaled Netflix-shaped surrogate with a fixed 80/20 split.
-    profile, train, test = build_dataset("netflix", seed=0)
+    profile, train, test = repro.build_dataset("netflix", seed=0)
     print(f"dataset: {train.n_rows} users x {train.n_cols} items, "
           f"{train.nnz} train / {test.nnz} test ratings")
 
-    # 2. A simulated cluster: 4 machines x 2 cores on an InfiniBand-class
-    #    network.  Simulated time is deterministic and seed-reproducible.
-    cluster = Cluster(4, 2, HPC_PROFILE, jitter=0.2)
+    # 2. One call: NOMAD on a simulated 4x2 cluster.  Swap engine= for
+    #    "threaded" or "multiprocess" to run the same protocol on live
+    #    concurrency primitives (duration then means real wall seconds).
+    result = repro.fit(
+        train, test,
+        algorithm="nomad",
+        engine="simulated",
+        hyper=profile.hyper,
+        run=RunConfig(duration=0.10, eval_interval=0.01, seed=0),
+        cluster=Cluster(4, 2, HPC_PROFILE, jitter=0.2),
+    )
 
-    # 3. Run NOMAD with the surrogate's tuned hyperparameters.
-    run = RunConfig(duration=0.10, eval_interval=0.01, seed=0)
-    simulation = NomadSimulation(train, test, cluster, profile.hyper, run)
-    trace = simulation.run()
-
-    # 4. Inspect the convergence curve.
+    # 3. Inspect the convergence curve.
     print(f"\n{'sim time':>10} {'updates':>10} {'test RMSE':>10}")
-    for record in trace.records:
+    for record in result.trace.records:
         print(f"{record.time:>10.3f} {record.updates:>10} {record.rmse:>10.4f}")
 
-    print(f"\nfinal test RMSE: {trace.final_rmse():.4f} "
-          f"(noise floor of the planted data is ~{profile.noise})")
-    print(f"throughput: {trace.throughput_per_worker():,.0f} "
+    print(f"\n{result.summary()}")
+    print(f"(noise floor of the planted data is ~{profile.noise})")
+    print(f"throughput: {result.trace.throughput_per_worker():,.0f} "
           f"updates/worker/simulated-second")
-    print(f"network hops: {simulation.network_hops:,}, "
-          f"local hops: {simulation.local_hops:,}")
+
+    # 4. The result carries a deployable model: recommend unseen items.
+    seen, _ = train.items_of_user(0)
+    print("\ntop picks for user 0:", [
+        f"item {item} ({score:+.2f})"
+        for item, score in result.model.recommend(0, top_n=3, exclude=seen)
+    ])
 
 
 if __name__ == "__main__":

@@ -22,13 +22,12 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro
 from repro import (
     Cluster,
     HPC_PROFILE,
-    HogwildSimulation,
     HyperParams,
     NomadOptions,
-    NomadSimulation,
     RngFactory,
     RunConfig,
     SyntheticSpec,
@@ -77,12 +76,18 @@ def main() -> None:
     run = RunConfig(duration=0.004, eval_interval=0.001, seed=5)
 
     # --- NOMAD: asynchronous AND serializable --------------------------
-    nomad = NomadSimulation(
-        train, test, Cluster(2, 2, HPC_PROFILE), HYPER, run,
+    # The facade's FitResult keeps the underlying simulation on `.raw`,
+    # so power-user diagnostics like the update log stay reachable.
+    nomad_result = repro.fit(
+        train, test,
+        algorithm="nomad",
+        engine="simulated",
+        hyper=HYPER,
+        run=run,
+        cluster=Cluster(2, 2, HPC_PROFILE),
         options=NomadOptions(record_updates=True),
     )
-    nomad.run()
-    log = nomad.update_log
+    log = nomad_result.raw.update_log
     graph = conflict_graph(log)
     print(f"NOMAD: {len(log):,} logged updates from 4 workers")
     print(f"  conflict graph: {graph.number_of_nodes():,} nodes, "
@@ -90,22 +95,28 @@ def main() -> None:
     print(f"  serializable: {is_serializable(log)}")
 
     replayed = replay_serially(serial_order(log), train, HYPER, seed=5)
-    final = nomad.factors
+    final = nomad_result.factors
     matches = np.allclose(replayed.w, final.w, atol=1e-9) and np.allclose(
         replayed.h, final.h, atol=1e-9
     )
     print(f"  serial replay reproduces the parallel result exactly: {matches}")
 
     # --- Hogwild: asynchronous but NOT serializable --------------------
-    hogwild = HogwildSimulation(
-        train, test, Cluster(1, 4, HPC_PROFILE), HYPER, run,
+    # Algorithm-specific constructor keywords pass straight through fit().
+    hogwild_result = repro.fit(
+        train, test,
+        algorithm="hogwild",
+        engine="simulated",
+        hyper=HYPER,
+        run=run,
+        cluster=Cluster(1, 4, HPC_PROFILE),
         refresh_period=16, record_updates=True,
     )
-    hogwild.run()
-    stale = sum(1 for event in hogwild.update_log if event.stale_read != -1)
-    print(f"\nHogwild: {len(hogwild.update_log):,} logged updates, "
+    hogwild_log = hogwild_result.raw.update_log
+    stale = sum(1 for event in hogwild_log if event.stale_read != -1)
+    print(f"\nHogwild: {len(hogwild_log):,} logged updates, "
           f"{stale:,} stale reads")
-    print(f"  serializable: {is_serializable(hogwild.update_log)}")
+    print(f"  serializable: {is_serializable(hogwild_log)}")
     print("\n(NOMAD's owner-computes rule is what guarantees the acyclic "
           "conflict graph: every parameter has exactly one writer at any "
           "instant, so no update can ever observe a torn or stale value.)")

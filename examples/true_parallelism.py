@@ -1,14 +1,16 @@
 """NOMAD on real threads and real processes (the GIL story).
 
 The simulator answers scaling questions; this example runs the actual
-protocol on live concurrency primitives:
+protocol on live concurrency primitives through the same ``repro.fit``
+call — only the ``engine`` string changes:
 
-* ``ThreadedNomad`` — real threads + queues.  CPython's GIL serializes the
-  numerics, so adding threads adds little throughput; the value is that the
-  owner-computes protocol (zero locks on parameters) runs verbatim.
-* ``MultiprocessNomad`` — worker processes over shared-memory factors,
-  the standard CPython workaround.  Parallelism is real; the protocol is
-  identical.
+* ``engine="threaded"`` — real threads + queues.  CPython's GIL
+  serializes the numerics, so adding threads adds little throughput; the
+  value is that the owner-computes protocol (zero locks on parameters)
+  runs verbatim.
+* ``engine="multiprocess"`` — worker processes over shared-memory
+  factors, the standard CPython workaround.  Parallelism is real; the
+  protocol is identical.
 
 Run with::
 
@@ -17,18 +19,25 @@ Run with::
 
 from __future__ import annotations
 
+import repro
 from repro import (
     HyperParams,
-    MultiprocessNomad,
     RngFactory,
+    RunConfig,
     SyntheticSpec,
-    ThreadedNomad,
     make_low_rank,
     train_test_split,
 )
 
 HYPER = HyperParams(k=8, lambda_=0.01, alpha=0.1, beta=0.005)
-DURATION = 1.5  # seconds of real wall time per run
+#: Real wall seconds per run — RunConfig.duration means exactly that on
+#: the live engines (and simulated seconds on the simulated engine).
+DURATION = 1.5
+
+ENGINE_LABELS = {
+    "threaded": "threads (GIL-bound)",
+    "multiprocess": "processes (shared mem)",
+}
 
 
 def main() -> None:
@@ -42,21 +51,21 @@ def main() -> None:
 
     print(f"{'runtime':>22} {'workers':>8} {'updates':>10} "
           f"{'upd/s':>10} {'RMSE':>7}")
-    for n_workers in (1, 2, 4):
-        result = ThreadedNomad(
-            train, test, n_workers, HYPER, seed=1
-        ).run(duration_seconds=DURATION)
-        rate = result.updates / result.wall_seconds
-        print(f"{'threads (GIL-bound)':>22} {n_workers:>8} "
-              f"{result.updates:>10,} {rate:>10,.0f} {result.rmse:>7.3f}")
-
-    for n_workers in (1, 2, 4):
-        result = MultiprocessNomad(
-            train, test, n_workers, HYPER, seed=1
-        ).run(duration_seconds=DURATION)
-        rate = result.updates / result.wall_seconds
-        print(f"{'processes (shared mem)':>22} {n_workers:>8} "
-              f"{result.updates:>10,} {rate:>10,.0f} {result.rmse:>7.3f}")
+    for engine, label in ENGINE_LABELS.items():
+        for n_workers in (1, 2, 4):
+            result = repro.fit(
+                train, test,
+                algorithm="nomad",
+                engine=engine,
+                hyper=HYPER,
+                run=RunConfig(duration=DURATION, eval_interval=DURATION,
+                              seed=1),
+                n_workers=n_workers,
+            )
+            timing = result.timing
+            print(f"{label:>22} {n_workers:>8} {timing.updates:>10,} "
+                  f"{timing.updates_per_second:>10,.0f} "
+                  f"{result.final_rmse():>7.3f}")
 
     print("\nreading: threads can never exceed one core's arithmetic "
           "throughput — the GIL\nserializes the float math (adding threads "

@@ -8,12 +8,20 @@ without a single lock or barrier.
 
 The package provides:
 
-* the NOMAD algorithm itself (:class:`repro.NomadSimulation`) executing on
-  a deterministic discrete-event cluster simulator;
+* one entry point, :func:`repro.fit`: any registered algorithm on any
+  supporting engine — ``fit(train, test, algorithm="nomad",
+  engine="simulated")`` — returning a uniform :class:`repro.FitResult`
+  (convergence trace, trained factors, deployable model, timing block);
+* three stock engines behind the facade: the deterministic discrete-event
+  cluster simulator plus real thread- and process-based NOMAD runtimes,
+  all registry entries (:data:`repro.ENGINES`), so future substrates plug
+  in without new public classes;
 * every baseline of the paper's evaluation (DSGD, DSGD++, FPSGD**, CCD++,
-  ALS, a GraphLab-style lock-server ALS, Hogwild);
-* real thread- and process-based NOMAD runtimes
-  (:class:`repro.ThreadedNomad`, :class:`repro.MultiprocessNomad`);
+  ALS, a GraphLab-style lock-server ALS, Hogwild) in the algorithm
+  registry (:data:`repro.ALGORITHMS`);
+* the low-level classes underneath (:class:`repro.NomadSimulation`,
+  :class:`repro.ThreadedNomad`, :class:`repro.MultiprocessNomad`, ...)
+  for power users;
 * shape-preserving surrogates of the Netflix / Yahoo! Music / Hugewiki
   datasets, and the synthetic weak-scaling generator of §5.5;
 * an experiment harness regenerating every table and figure
@@ -21,17 +29,34 @@ The package provides:
 
 Quickstart::
 
-    from repro import (HyperParams, RunConfig, NomadSimulation,
-                       Cluster, HPC_PROFILE, build_dataset)
+    import repro
+    from repro import RunConfig
 
-    profile, train, test = build_dataset("netflix", seed=0)
-    cluster = Cluster(4, 2, HPC_PROFILE)
-    sim = NomadSimulation(train, test, cluster, profile.hyper,
-                          RunConfig(duration=0.1, eval_interval=0.01))
-    trace = sim.run()
-    print(trace.final_rmse())
+    profile, train, test = repro.build_dataset("netflix", seed=0)
+    result = repro.fit(train, test, algorithm="nomad", engine="simulated",
+                       hyper=profile.hyper,
+                       run=RunConfig(duration=0.1, eval_interval=0.01))
+    print(result.trace.final_rmse())
+    print(result.model.recommend(user=0, top_n=5))
+
+Swap ``engine="simulated"`` for ``"threaded"`` or ``"multiprocess"`` to
+run the same NOMAD protocol on live concurrency primitives (``duration``
+then means real wall seconds).  Unsupported (algorithm, engine) pairs
+raise :class:`repro.ConfigError` listing every valid combination.
 """
 
+from .api import (
+    ALGORITHMS,
+    ENGINES,
+    AlgorithmSpec,
+    EngineSpec,
+    FitResult,
+    FitTiming,
+    fit,
+    register_algorithm,
+    register_engine,
+    supported_pairs,
+)
 from .config import HyperParams, RunConfig
 from .core.load_balance import (
     LeastQueuePolicy,
@@ -99,6 +124,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # solver facade
+    "fit",
+    "FitResult",
+    "FitTiming",
+    "ALGORITHMS",
+    "ENGINES",
+    "AlgorithmSpec",
+    "EngineSpec",
+    "register_algorithm",
+    "register_engine",
+    "supported_pairs",
     # configuration
     "HyperParams",
     "RunConfig",

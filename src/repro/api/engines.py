@@ -1,0 +1,219 @@
+"""The three stock execution engines behind :func:`repro.fit`.
+
+Each engine is one runner callable ``(FitRequest) -> FitResult`` plus a
+:func:`~repro.api.registry.register_engine` call:
+
+* ``"simulated"`` — the discrete-event cluster simulator; runs every
+  registered algorithm and produces the full evaluation-grid trace, with
+  simulated seconds on the time axis.
+* ``"threaded"`` — real Python threads (protocol validation; GIL-bound).
+* ``"multiprocess"`` — real processes over shared-memory factors (true
+  parallelism; requires the ``fork`` start method).
+
+The live engines run NOMAD only (the paper's baselines are simulated
+algorithms); their traces record the endpoints — the seed-determined
+initialization at t=0 and the final model at ``wall_seconds`` — on a real
+wall-clock axis.
+
+Adding a new engine means writing one runner with this signature,
+registering it, and flagging the algorithms it supports; nothing else in
+the public API changes.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..config import RunConfig
+from ..errors import ConfigError
+from ..linalg.factors import init_factors
+from ..linalg.objective import test_rmse
+from ..rng import RngFactory
+from ..runtime.multiprocess import MultiprocessNomad
+from ..runtime.result import RuntimeResult
+from ..runtime.threaded import ThreadedNomad
+from ..simulator.cluster import Cluster
+from ..simulator.network import HPC_PROFILE
+from ..simulator.trace import Trace
+from .registry import (
+    MULTIPROCESS,
+    SIMULATED,
+    THREADED,
+    EngineSpec,
+    FitRequest,
+    register_engine,
+)
+from .result import FitResult, FitTiming
+
+__all__ = ["run_simulated", "run_threaded", "run_multiprocess"]
+
+#: Worker count used when neither ``n_workers`` nor a cluster is given.
+_DEFAULT_WORKERS = 2
+
+
+def _resolve_workers(request: FitRequest) -> int:
+    """Worker count for the live engines: explicit, else cluster, else 2."""
+    if request.n_workers is not None:
+        return request.n_workers
+    if request.cluster is not None:
+        return request.cluster.n_workers
+    return _DEFAULT_WORKERS
+
+
+def run_simulated(request: FitRequest) -> FitResult:
+    """Run any registered algorithm on the discrete-event simulator."""
+    algorithm = request.algorithm
+    if algorithm.simulated is None:
+        raise ConfigError(
+            f"algorithm {algorithm.name!r} has no simulated implementation"
+        )
+    run = request.run if request.run is not None else RunConfig()
+    cluster = request.cluster
+    if cluster is None:
+        cluster = Cluster(1, _resolve_workers(request), HPC_PROFILE)
+    kwargs = dict(request.extra)
+    if request.options is not None:
+        if not algorithm.accepts_nomad_options:
+            raise ConfigError(
+                f"options=NomadOptions(...) only applies to NOMAD, not "
+                f"{algorithm.name!r}"
+            )
+        kwargs["options"] = request.options
+    if request.factors is not None:
+        kwargs["factors"] = request.factors
+    simulation = algorithm.simulated(
+        request.train, request.test, cluster, request.hyper, run, **kwargs,
+    )
+    started = time.perf_counter()
+    trace = simulation.run()
+    wall = time.perf_counter() - started
+    return FitResult(
+        algorithm=algorithm.name,
+        engine=SIMULATED,
+        trace=trace,
+        factors=simulation.factors,
+        timing=FitTiming(
+            wall_seconds=wall,
+            join_seconds=0.0,
+            simulated_seconds=trace.duration(),
+            updates=simulation.total_updates,
+            updates_per_worker=None,
+        ),
+        raw=simulation,
+    )
+
+
+def _reject_simulated_only(request: FitRequest) -> None:
+    """The live runtimes take no simulation-layer extras — fail eagerly."""
+    engine = request.engine.name
+    if request.options is not None:
+        raise ConfigError(
+            f"options=NomadOptions(...) applies to the simulated engine "
+            f"only, not {engine!r} (the live runtimes implement the basic "
+            "Algorithm 1 routing)"
+        )
+    if request.factors is not None:
+        raise ConfigError(
+            f"externally initialized factors are not supported by the "
+            f"{engine!r} engine (the live runtimes initialize from "
+            "run.seed); use engine='simulated'"
+        )
+    if request.extra:
+        raise ConfigError(
+            f"unsupported keyword(s) for engine {engine!r}: "
+            f"{sorted(request.extra)}"
+        )
+
+
+def _live_result(
+    request: FitRequest, n_workers: int, seed: int, outcome: RuntimeResult
+) -> FitResult:
+    """Fold a :class:`RuntimeResult` into the uniform :class:`FitResult`.
+
+    The trace records the run's endpoints on a real-seconds axis: the
+    RMSE of the seed-determined initialization (recomputed here from the
+    runtime's resolved seed — cheap, and identical to what the runtime
+    started from) and the final model.
+    """
+    train, hyper = request.train, request.hyper
+    initial = init_factors(
+        train.n_rows, train.n_cols, hyper.k, RngFactory(seed).stream("init")
+    )
+    trace = Trace(
+        algorithm=request.algorithm.name,
+        n_workers=n_workers,
+        meta={
+            "engine": request.engine.name,
+            "k": hyper.k,
+            "lambda": hyper.lambda_,
+        },
+    )
+    trace.add(0.0, 0, test_rmse(initial, request.test))
+    trace.add(outcome.wall_seconds, outcome.updates, outcome.rmse)
+    return FitResult(
+        algorithm=request.algorithm.name,
+        engine=request.engine.name,
+        trace=trace,
+        factors=outcome.factors,
+        timing=FitTiming(
+            wall_seconds=outcome.wall_seconds,
+            join_seconds=outcome.join_seconds,
+            simulated_seconds=None,
+            updates=outcome.updates,
+            updates_per_worker=tuple(outcome.updates_per_worker),
+        ),
+        raw=outcome,
+    )
+
+
+def run_threaded(request: FitRequest) -> FitResult:
+    """Run NOMAD on real threads for ``run.duration`` wall seconds.
+
+    With no run config, the runtime's historical 1-second wall budget
+    and seed 0 apply.
+    """
+    _reject_simulated_only(request)
+    n_workers = _resolve_workers(request)
+    runner = ThreadedNomad(
+        request.train, request.test, n_workers, request.hyper,
+        run=request.run,
+    )
+    return _live_result(request, n_workers, runner.seed, runner.run())
+
+
+def run_multiprocess(request: FitRequest) -> FitResult:
+    """Run NOMAD on real processes for ``run.duration`` wall seconds.
+
+    With no run config, the runtime's historical 1-second wall budget
+    and seed 0 apply.
+    """
+    _reject_simulated_only(request)
+    n_workers = _resolve_workers(request)
+    runner = MultiprocessNomad(
+        request.train, request.test, n_workers, request.hyper,
+        run=request.run,
+    )
+    return _live_result(request, n_workers, runner.seed, runner.run())
+
+
+register_engine(
+    EngineSpec(
+        name=SIMULATED,
+        runner=run_simulated,
+        description="discrete-event cluster simulator (all algorithms)",
+    )
+)
+register_engine(
+    EngineSpec(
+        name=THREADED,
+        runner=run_threaded,
+        description="real Python threads (NOMAD protocol validation)",
+    )
+)
+register_engine(
+    EngineSpec(
+        name=MULTIPROCESS,
+        runner=run_multiprocess,
+        description="real processes over shared-memory factors (NOMAD)",
+    )
+)

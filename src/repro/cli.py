@@ -1,13 +1,18 @@
-"""Command-line interface: list and run the paper's experiments.
+"""Command-line interface: fit models and run the paper's experiments.
 
 Usage::
 
     repro-nomad list
     repro-nomad run --experiment fig08 --scale small --seed 0
     repro-nomad run --experiment fig08 --outdir results/
+    repro-nomad fit --algorithm nomad --engine simulated --duration 0.1
+    repro-nomad fit --engine threaded --workers 4 --duration 1.0
+    repro-nomad fit --list
 
 ``run`` prints the ASCII report to stdout and optionally writes every
-series/table as CSV under ``--outdir``.
+series/table as CSV under ``--outdir``.  ``fit`` trains one model through
+the :func:`repro.fit` facade, prints its convergence trace and timing
+block, and optionally saves the trained model as ``.npz``.
 """
 
 from __future__ import annotations
@@ -16,7 +21,11 @@ import argparse
 import sys
 from typing import Sequence
 
+from .api import ALGORITHMS, ENGINES, fit, supported_pairs
+from .config import RunConfig
+from .errors import ConfigError, ReproError
 from .experiments.figures import EXPERIMENT_REGISTRY, run_experiment
+from .experiments.harness import build_dataset, make_cluster
 from .experiments.report import render_result, result_to_csv_dir
 
 __all__ = ["main", "build_parser"]
@@ -27,8 +36,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-nomad",
         description=(
-            "Reproduction of NOMAD (Yun et al., VLDB 2014): run any table "
-            "or figure of the paper's evaluation on the simulated cluster."
+            "Reproduction of NOMAD (Yun et al., VLDB 2014): fit models "
+            "through the unified solver facade, or run any table/figure "
+            "of the paper's evaluation on the simulated cluster."
         ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
@@ -56,7 +66,153 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="optional directory for CSV export of all series and tables",
     )
+
+    fit_cmd = commands.add_parser(
+        "fit",
+        help="train one model via the repro.fit facade",
+        description=(
+            "Train one matrix-completion model: any registered algorithm "
+            "on any engine that supports it ('fit --list' prints the "
+            "matrix).  Runs on a registry dataset surrogate with its "
+            "tuned hyperparameters."
+        ),
+    )
+    fit_cmd.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_combos",
+        help="print the (algorithm, engine) support matrix and exit",
+    )
+    fit_cmd.add_argument(
+        "--algorithm",
+        default="nomad",
+        help="algorithm registry name, case-insensitive (default: nomad)",
+    )
+    fit_cmd.add_argument(
+        "--engine",
+        default="simulated",
+        choices=sorted(ENGINES),
+        help="execution engine (default: simulated)",
+    )
+    fit_cmd.add_argument(
+        "--dataset",
+        default="netflix",
+        help="dataset surrogate profile (default: netflix)",
+    )
+    fit_cmd.add_argument(
+        "--duration",
+        type=float,
+        default=0.1,
+        help=(
+            "run budget in seconds — simulated seconds on the simulated "
+            "engine, real wall seconds on the live engines (default: 0.1)"
+        ),
+    )
+    fit_cmd.add_argument(
+        "--eval-interval",
+        type=float,
+        default=None,
+        help="trace evaluation period in seconds (default: duration/10)",
+    )
+    fit_cmd.add_argument(
+        "--seed", type=int, default=0, help="root random seed (default: 0)"
+    )
+    fit_cmd.add_argument(
+        "--machines",
+        type=int,
+        default=1,
+        help="simulated machines (simulated engine; default: 1)",
+    )
+    fit_cmd.add_argument(
+        "--cores",
+        type=int,
+        default=2,
+        help="cores per simulated machine (simulated engine; default: 2)",
+    )
+    fit_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker count for the live engines (default: machines*cores; "
+            "rejected with --engine simulated — use --machines/--cores)"
+        ),
+    )
+    fit_cmd.add_argument(
+        "--save",
+        default=None,
+        metavar="PATH",
+        help="save the trained model as compressed npz",
+    )
     return parser
+
+
+def _print_fit_matrix() -> None:
+    """The (algorithm, engine) support matrix, one line per algorithm."""
+    pairs = supported_pairs()
+    width = max(len(name) for name in ALGORITHMS)
+    print(f"{'algorithm':<{width}}  engines")
+    for name in sorted(ALGORITHMS):
+        engines = ", ".join(e for a, e in pairs if a == name)
+        print(f"{name:<{width}}  {engines}")
+
+
+def _run_fit(args: argparse.Namespace) -> int:
+    """Drive one facade fit from parsed CLI arguments."""
+    if args.list_combos:
+        _print_fit_matrix()
+        return 0
+
+    if args.engine == "simulated" and args.workers is not None:
+        raise ConfigError(
+            "--workers applies to the live engines only; size the "
+            "simulated engine with --machines/--cores"
+        )
+    eval_interval = (
+        args.eval_interval
+        if args.eval_interval is not None
+        else args.duration / 10
+    )
+    profile, train, test = build_dataset(args.dataset, seed=args.seed)
+    run = RunConfig(
+        duration=args.duration, eval_interval=eval_interval, seed=args.seed
+    )
+    cluster = None
+    if args.engine == "simulated":
+        cluster = make_cluster(args.machines, args.cores)
+    workers = (
+        args.workers if args.workers is not None else args.machines * args.cores
+    )
+
+    print(
+        f"dataset: {args.dataset} surrogate — {train.n_rows} x "
+        f"{train.n_cols}, {train.nnz} train / {test.nnz} test ratings"
+    )
+    result = fit(
+        train,
+        test,
+        algorithm=args.algorithm,
+        engine=args.engine,
+        hyper=profile.hyper,
+        run=run,
+        cluster=cluster,
+        n_workers=workers,
+    )
+
+    print(f"\n{'time (s)':>10} {'updates':>12} {'test RMSE':>10}")
+    for record in result.trace.records:
+        print(f"{record.time:>10.4f} {record.updates:>12,} {record.rmse:>10.4f}")
+    print(f"\n{result.summary()}")
+    timing = result.timing
+    if timing.updates_per_worker is not None:
+        counts = ", ".join(f"{c:,}" for c in timing.updates_per_worker)
+        print(f"updates per worker: {counts}")
+    print(f"throughput: {timing.updates_per_second:,.0f} updates/second")
+
+    if args.save:
+        result.model.save(args.save)
+        print(f"model saved to {args.save}")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -71,6 +227,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                 first_line = (driver.__doc__ or "").strip().splitlines()[0]
                 print(f"{experiment_id:18s} {first_line}")
             return 0
+
+        if args.command == "fit":
+            try:
+                return _run_fit(args)
+            except ReproError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
 
         result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
         sys.stdout.write(render_result(result))

@@ -7,8 +7,10 @@ ingredients, all provided here:
   train/test split (one split shared by all algorithms, §5.1).
 * :func:`make_cluster` — a simulated topology with the experiment's
   network profile and jitter level.
-* :func:`run_algorithm` — instantiate and run any optimizer by name with a
-  uniform signature.
+* :func:`run_algorithm` — run any optimizer by name with a uniform
+  signature (a thin wrapper over :func:`repro.fit` on the simulated
+  engine, kept because the figure drivers want a bare
+  :class:`~repro.simulator.trace.Trace`).
 
 Default jitter levels follow the environments' character: HPC nodes are
 lightly noisy, multi-tenant commodity VMs noisier (§5.4's AWS cluster).
@@ -18,21 +20,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..api import ALGORITHMS as _ALGORITHM_SPECS
+from ..api import fit, resolve_algorithm
 from ..config import HyperParams, RunConfig
-from ..core.nomad import NomadOptions, NomadSimulation
-from ..baselines import (
-    ALSSimulation,
-    CCDPlusPlusSimulation,
-    DSGDPlusPlusSimulation,
-    DSGDSimulation,
-    FPSGDSimulation,
-    GraphLabALSSimulation,
-    HogwildSimulation,
-    SerialSGD,
-)
+from ..core.nomad import NomadOptions
 from ..datasets.ratings import RatingMatrix, train_test_split
 from ..datasets.registry import DatasetProfile, load_profile
-from ..errors import ExperimentError
+from ..errors import ConfigError, ExperimentError
 from ..rng import RngFactory
 from ..simulator.cluster import Cluster
 from ..simulator.network import (
@@ -62,17 +56,14 @@ HPC_JITTER = 0.2
 #: Transient compute-noise sigma of a multi-tenant commodity VM.
 COMMODITY_JITTER = 0.3
 
-#: Optimizers runnable by name through :func:`run_algorithm`.
+#: Optimizers runnable by name through :func:`run_algorithm` — the
+#: simulation classes of the :data:`repro.api.ALGORITHMS` registry (that
+#: registry is the single source of truth; this view keeps the historic
+#: name → class mapping importable).
 ALGORITHMS = {
-    "NOMAD": NomadSimulation,
-    "DSGD": DSGDSimulation,
-    "DSGD++": DSGDPlusPlusSimulation,
-    "FPSGD**": FPSGDSimulation,
-    "CCD++": CCDPlusPlusSimulation,
-    "ALS": ALSSimulation,
-    "GraphLab-ALS": GraphLabALSSimulation,
-    "Hogwild": HogwildSimulation,
-    "SerialSGD": SerialSGD,
+    spec.name: spec.simulated
+    for spec in _ALGORITHM_SPECS.values()
+    if spec.simulated is not None
 }
 
 
@@ -145,16 +136,28 @@ def run_algorithm(
     nomad_options: NomadOptions | None = None,
     **kwargs,
 ) -> Trace:
-    """Instantiate and run one optimizer by registry name."""
-    if name not in ALGORITHMS:
+    """Run one optimizer by registry name on the simulated engine.
+
+    Delegates to :func:`repro.fit`; ``nomad_options`` is forwarded only
+    when the named algorithm is NOMAD (the historic behaviour — figure
+    drivers pass one options object across algorithm sweeps).
+    """
+    try:
+        spec = resolve_algorithm(name)
+    except ConfigError as error:
         raise ExperimentError(
             f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
-        )
-    cls = ALGORITHMS[name]
-    if name == "NOMAD":
-        simulation = cls(
-            train, test, cluster, hyper, run, options=nomad_options, **kwargs
-        )
-    else:
-        simulation = cls(train, test, cluster, hyper, run, **kwargs)
-    return simulation.run()
+        ) from error
+    options = nomad_options if spec.accepts_nomad_options else None
+    result = fit(
+        train,
+        test,
+        algorithm=spec.name,
+        engine="simulated",
+        hyper=hyper,
+        run=run,
+        cluster=cluster,
+        options=options,
+        **kwargs,
+    )
+    return result.trace

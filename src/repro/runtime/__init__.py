@@ -15,10 +15,12 @@ concurrent workers:
   lock-free execution of the NOMAD update rule.
 """
 
+from .result import RuntimeResult
 from .threaded import ThreadedNomad, ThreadedResult
 from .multiprocess import MultiprocessNomad, MultiprocessResult
 
 __all__ = [
+    "RuntimeResult",
     "ThreadedNomad",
     "ThreadedResult",
     "MultiprocessNomad",

@@ -40,12 +40,11 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue as queue_module
 import time
-from dataclasses import dataclass
 
 import numpy as np
 from multiprocessing import shared_memory
 
-from ..config import HyperParams
+from ..config import HyperParams, RunConfig
 from ..datasets.ratings import RatingMatrix, Shard
 from ..errors import ConfigError
 from ..linalg.backends import get_backend, resolve_backend
@@ -53,6 +52,7 @@ from ..linalg.factors import FactorPair, init_factors
 from ..linalg.objective import test_rmse
 from ..partition.partitioners import partition_rows_equal_ratings
 from ..rng import RngFactory, derive_pyrandom
+from .result import RuntimeResult, resolve_duration, resolve_run_settings
 
 __all__ = ["MultiprocessNomad", "MultiprocessResult"]
 
@@ -60,21 +60,9 @@ _POLL_SECONDS = 0.02
 _JOIN_TIMEOUT = 10.0
 
 
-@dataclass
-class MultiprocessResult:
-    """Outcome of a multiprocess NOMAD run.
-
-    Attributes mirror :class:`~repro.runtime.threaded.ThreadedResult`:
-    ``wall_seconds`` is the parallel section only (stamped at the stop
-    signal) and ``join_seconds`` the result-collection/join overhead.
-    """
-
-    factors: FactorPair
-    updates: int
-    wall_seconds: float
-    rmse: float
-    updates_per_worker: list[int]
-    join_seconds: float = 0.0
+class MultiprocessResult(RuntimeResult):
+    """Outcome of a multiprocess NOMAD run; see
+    :class:`~repro.runtime.result.RuntimeResult` for the field contract."""
 
 
 def _fork_context() -> mp.context.BaseContext:
@@ -177,11 +165,22 @@ class MultiprocessNomad:
         Model hyperparameters.
     seed:
         Root seed (initialization, token scattering, per-worker routing).
+        ``None`` (default) takes ``run.seed`` when a :class:`RunConfig`
+        is given, else 0; an explicit value always wins.
     kernel_backend:
         Kernel backend name (``"auto"``/``"list"``/``"numpy"``); ``None``
-        (default) consults ``$NOMAD_KERNEL_BACKEND``, then ``"auto"``.
+        (default) takes ``run.kernel_backend`` when a run config is
+        given, else consults ``$NOMAD_KERNEL_BACKEND``, then ``"auto"``.
         The shared-memory factors are ndarrays, so ``"auto"`` resolves to
         the numpy backend.
+    run:
+        Optional :class:`~repro.config.RunConfig`.  Its ``duration`` is
+        the wall-clock budget of :meth:`run` (the same field the
+        simulated engine honors — previously the real runtimes silently
+        ignored it), and its ``seed``/``kernel_backend`` become the
+        defaults above.  ``eval_interval`` is unused here and
+        ``max_updates`` is rejected eagerly (workers cannot be halted at
+        an exact global update count).
     """
 
     def __init__(
@@ -190,8 +189,9 @@ class MultiprocessNomad:
         test: RatingMatrix,
         n_workers: int,
         hyper: HyperParams,
-        seed: int = 0,
+        seed: int | None = None,
         kernel_backend: str | None = None,
+        run: RunConfig | None = None,
     ):
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
@@ -201,17 +201,21 @@ class MultiprocessNomad:
         self.test = test
         self.n_workers = int(n_workers)
         self.hyper = hyper
-        self.seed = int(seed)
+        self.run_config = run
+        self.seed, kernel_backend = resolve_run_settings(
+            seed, kernel_backend, run
+        )
         self.backend = resolve_backend(
             kernel_backend, k=hyper.k, storage="ndarray"
         )
 
-    def run(self, duration_seconds: float = 1.0) -> MultiprocessResult:
-        """Run the worker pool for ``duration_seconds`` of wall time."""
-        if duration_seconds <= 0:
-            raise ConfigError(
-                f"duration_seconds must be > 0, got {duration_seconds}"
-            )
+    def run(self, duration_seconds: float | None = None) -> MultiprocessResult:
+        """Run the worker pool for ``duration_seconds`` of wall time.
+
+        ``None`` (default) falls back to the constructor run config's
+        ``duration``, or 1 second when no run config was given.
+        """
+        duration_seconds = resolve_duration(duration_seconds, self.run_config)
         factory = RngFactory(self.seed)
         init = init_factors(
             self.train.n_rows, self.train.n_cols, self.hyper.k,

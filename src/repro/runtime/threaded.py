@@ -24,18 +24,18 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from dataclasses import dataclass
 
 import numpy as np
 
-from ..config import HyperParams
+from ..config import HyperParams, RunConfig
 from ..datasets.ratings import RatingMatrix
 from ..errors import ConfigError
 from ..linalg.backends import resolve_backend
-from ..linalg.factors import FactorPair, init_factors
+from ..linalg.factors import init_factors
 from ..linalg.objective import test_rmse
 from ..partition.partitioners import partition_rows_equal_ratings
 from ..rng import RngFactory
+from .result import RuntimeResult, resolve_duration, resolve_run_settings
 
 __all__ = ["ThreadedNomad", "ThreadedResult"]
 
@@ -43,36 +43,9 @@ _STOP = object()  # queue sentinel telling a worker to drain and exit
 _POLL_SECONDS = 0.02
 
 
-@dataclass
-class ThreadedResult:
-    """Outcome of a threaded NOMAD run.
-
-    Attributes
-    ----------
-    factors:
-        Final (W, H) model.
-    updates:
-        Total SGD updates applied across all workers.
-    wall_seconds:
-        Real elapsed time of the parallel section only — stamped the
-        moment the stop signal is raised, *before* sentinel delivery and
-        thread joins, so shutdown overhead can never inflate it.
-    rmse:
-        Test RMSE of the final model.
-    updates_per_worker:
-        Per-worker update counts (load-balance diagnostics).
-    join_seconds:
-        Shutdown overhead: time spent delivering stop sentinels and
-        joining worker threads, reported separately from
-        ``wall_seconds``.
-    """
-
-    factors: FactorPair
-    updates: int
-    wall_seconds: float
-    rmse: float
-    updates_per_worker: list[int]
-    join_seconds: float = 0.0
+class ThreadedResult(RuntimeResult):
+    """Outcome of a threaded NOMAD run; see
+    :class:`~repro.runtime.result.RuntimeResult` for the field contract."""
 
 
 class ThreadedNomad:
@@ -87,13 +60,26 @@ class ThreadedNomad:
     hyper:
         Model hyperparameters.
     seed:
-        Root seed (initialization, token scattering, routing).
+        Root seed (initialization, token scattering, routing).  ``None``
+        (default) takes ``run.seed`` when a :class:`RunConfig` is given,
+        else 0; an explicit value always wins.
     kernel_backend:
         Kernel backend name (``"auto"``/``"list"``/``"numpy"``); ``None``
-        (default) consults ``$NOMAD_KERNEL_BACKEND``, then ``"auto"``.
+        (default) takes ``run.kernel_backend`` when a run config is
+        given, else consults ``$NOMAD_KERNEL_BACKEND``, then ``"auto"``.
         The factors live in shared ndarrays here, so ``"auto"`` resolves
         to the numpy backend; ``"list"`` still runs correctly on the
         ndarray rows, just slower.
+    run:
+        Optional :class:`~repro.config.RunConfig`.  Its ``duration`` is
+        the wall-clock budget of :meth:`run` (the same field the
+        simulated engine honors — previously the real runtimes silently
+        ignored it), and its ``seed``/``kernel_backend`` become the
+        defaults above.  ``eval_interval`` is unused (the live runtimes
+        evaluate once, at the end) and ``max_updates`` is rejected
+        eagerly: real threads cannot halt mid-flight at an exact global
+        update count, and pretending otherwise would corrupt
+        updates-versus-RMSE comparisons.
     """
 
     def __init__(
@@ -102,8 +88,9 @@ class ThreadedNomad:
         test: RatingMatrix,
         n_workers: int,
         hyper: HyperParams,
-        seed: int = 0,
+        seed: int | None = None,
         kernel_backend: str | None = None,
+        run: RunConfig | None = None,
     ):
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
@@ -113,17 +100,21 @@ class ThreadedNomad:
         self.test = test
         self.n_workers = int(n_workers)
         self.hyper = hyper
-        self.seed = int(seed)
+        self.run_config = run
+        self.seed, kernel_backend = resolve_run_settings(
+            seed, kernel_backend, run
+        )
         self.backend = resolve_backend(
             kernel_backend, k=hyper.k, storage="ndarray"
         )
 
-    def run(self, duration_seconds: float = 1.0) -> ThreadedResult:
-        """Run the worker pool for ``duration_seconds`` of wall time."""
-        if duration_seconds <= 0:
-            raise ConfigError(
-                f"duration_seconds must be > 0, got {duration_seconds}"
-            )
+    def run(self, duration_seconds: float | None = None) -> ThreadedResult:
+        """Run the worker pool for ``duration_seconds`` of wall time.
+
+        ``None`` (default) falls back to the constructor run config's
+        ``duration``, or 1 second when no run config was given.
+        """
+        duration_seconds = resolve_duration(duration_seconds, self.run_config)
         factory = RngFactory(self.seed)
         factors = init_factors(
             self.train.n_rows, self.train.n_cols, self.hyper.k,

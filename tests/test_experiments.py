@@ -200,3 +200,23 @@ class TestCLI:
             ["run", "--experiment", "fig05", "--scale", "tiny"]
         )
         assert args.scale == "tiny"
+
+    def test_fit_command_smoke(self, capsys):
+        assert main(["fit", "--duration", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "NOMAD on simulated" in out
+
+    def test_fit_list_prints_matrix(self, capsys):
+        assert main(["fit", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "NOMAD" in out and "multiprocess" in out
+
+    def test_fit_rejects_unsupported_pair(self, capsys):
+        assert main(["fit", "--algorithm", "als", "--engine", "threaded"]) == 2
+        err = capsys.readouterr().err
+        assert "supported combinations" in err
+
+    def test_fit_rejects_workers_on_simulated(self, capsys):
+        code = main(["fit", "--engine", "simulated", "--workers", "4"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err

@@ -9,7 +9,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.config import HyperParams
+from repro.config import HyperParams, RunConfig
 from repro.errors import ConfigError
 from repro.linalg.backends import ListBackend, NumpyBackend
 from repro.linalg.factors import init_factors
@@ -165,6 +165,70 @@ class TestTimingSemantics:
         # must land entirely in join_seconds, never in wall_seconds.
         assert result.wall_seconds < duration + delay
         assert result.join_seconds >= 2 * delay
+
+
+class TestRunConfigSemantics:
+    """RunConfig.duration is honored by the real runtimes (it used to be
+    silently ignored in favor of the duration_seconds default)."""
+
+    def test_threaded_honors_runconfig_duration(self, tiny_split):
+        train, test = tiny_split
+        run = RunConfig(duration=0.3, eval_interval=0.1, seed=1)
+        runner = ThreadedNomad(train, test, 2, HYPER, run=run)
+        result = runner.run()  # no duration_seconds: run.duration applies
+        assert 0.3 <= result.wall_seconds < 0.3 + 0.25
+
+    def test_multiprocess_honors_runconfig_duration(self, tiny_split):
+        train, test = tiny_split
+        run = RunConfig(duration=0.3, eval_interval=0.1, seed=1)
+        runner = MultiprocessNomad(train, test, 2, HYPER, run=run)
+        result = runner.run()
+        # wall_seconds also absorbs process fork/start cost (the clock is
+        # stamped before the start loop), so the upper slack is generous
+        # to stay robust on loaded CI runners.
+        assert 0.3 <= result.wall_seconds < 0.3 + 1.5
+
+    def test_explicit_duration_beats_runconfig(self, tiny_split):
+        train, test = tiny_split
+        run = RunConfig(duration=5.0, eval_interval=0.1, seed=1)
+        runner = ThreadedNomad(train, test, 1, HYPER, run=run)
+        result = runner.run(duration_seconds=0.2)
+        assert result.wall_seconds < 1.0
+
+    def test_runconfig_supplies_seed_and_backend(self, tiny_split):
+        train, test = tiny_split
+        run = RunConfig(
+            duration=0.2, eval_interval=0.1, seed=17, kernel_backend="list"
+        )
+        threaded = ThreadedNomad(train, test, 1, HYPER, run=run)
+        assert threaded.seed == 17
+        assert isinstance(threaded.backend, ListBackend)
+        multiprocess = MultiprocessNomad(train, test, 1, HYPER, run=run)
+        assert multiprocess.seed == 17
+        assert isinstance(multiprocess.backend, ListBackend)
+        # Explicit arguments still beat the run config.
+        pinned = ThreadedNomad(
+            train, test, 1, HYPER, seed=3, kernel_backend="numpy", run=run
+        )
+        assert pinned.seed == 3
+        assert isinstance(pinned.backend, NumpyBackend)
+
+    def test_max_updates_rejected_eagerly(self, tiny_split):
+        train, test = tiny_split
+        run = RunConfig(
+            duration=0.2, eval_interval=0.1, seed=1, max_updates=100
+        )
+        with pytest.raises(ConfigError, match="max_updates"):
+            ThreadedNomad(train, test, 1, HYPER, run=run)
+        with pytest.raises(ConfigError, match="max_updates"):
+            MultiprocessNomad(train, test, 1, HYPER, run=run)
+
+    def test_legacy_default_without_runconfig(self, tiny_split):
+        """No run config and no duration: the historical 1 s default."""
+        train, test = tiny_split
+        runner = ThreadedNomad(train, test, 1, HYPER, seed=1)
+        result = runner.run()
+        assert 1.0 <= result.wall_seconds < 1.0 + 0.5
 
 
 class TestRuntimeBackends:
