@@ -1,0 +1,94 @@
+"""Benchmark: socket cluster engine vs the shared-memory engine.
+
+Runs NOMAD through ``repro.fit`` on the ``multiprocess`` (shared-memory
+fork) and ``cluster`` (localhost TCP, spawn) engines at one fixed seed
+and wall budget, and records updates/sec, final RMSE, and the timing
+split to ``results/cluster_engine.json`` (BENCH json).  The gap between
+the two engines is the measured price of real message passing — the
+number §3.5's envelope batching exists to shrink — and the baseline any
+future transport (multi-host, gossip) is judged against.
+
+Run with the rest of the benchmark suite; scale via ``REPRO_BENCH_SCALE``
+(``tiny`` shortens the timed window for smoke passes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.api import fit
+from repro.config import RunConfig
+from repro.experiments.harness import build_dataset
+
+ENGINES_UNDER_TEST = ("multiprocess", "cluster")
+N_WORKERS = 2
+SEED = 0
+
+#: Wall budget per engine, seconds.  The two engines stamp their wall
+#: window differently at the startup edge (multiprocess counts fork +
+#: process start inside it; cluster starts counting only after the
+#: Ready/Peers bootstrap), so the window must stay large enough to
+#: amortize those ~10-30ms — which is why ``tiny`` is not shorter.
+_WINDOWS = {"tiny": 0.4, "small": 0.75, "medium": 1.5}
+
+
+def test_cluster_engine_throughput(bench_env):
+    """Record the cross-engine updates/sec comparison and sanity-check it."""
+    results_dir, scale = bench_env
+    window = _WINDOWS.get(scale, 0.5)
+    profile, train, test = build_dataset("netflix", seed=SEED)
+    run = RunConfig(duration=window, eval_interval=window, seed=SEED)
+
+    cells = []
+    for engine in ENGINES_UNDER_TEST:
+        result = fit(
+            train, test, algorithm="nomad", engine=engine,
+            hyper=profile.hyper, run=run, n_workers=N_WORKERS,
+        )
+        timing = result.timing
+        cells.append(
+            {
+                "engine": engine,
+                "updates_per_sec": round(timing.updates_per_second, 1),
+                "updates": timing.updates,
+                "wall_seconds": round(timing.wall_seconds, 4),
+                "join_seconds": round(timing.join_seconds, 4),
+                "final_rmse": round(result.final_rmse(), 4),
+            }
+        )
+
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, "cluster_engine.json")
+    payload = {
+        "benchmark": "cluster_engine",
+        "unit": "updates_per_sec",
+        "caveat": (
+            "wall windows differ at the startup edge: multiprocess "
+            "includes fork+start, cluster excludes its spawn bootstrap; "
+            "windows are sized so this skews updates_per_sec by <~5%"
+        ),
+        "scale": scale,
+        "n_workers": N_WORKERS,
+        "seed": SEED,
+        "dataset": "netflix-surrogate",
+        "results": cells,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+    print()
+    header = (
+        f"{'engine':>14} {'upd/s':>12} {'updates':>10} "
+        f"{'wall':>7} {'join':>7} {'rmse':>7}"
+    )
+    print(header)
+    for cell in cells:
+        print(
+            f"{cell['engine']:>14} {cell['updates_per_sec']:>12,.0f} "
+            f"{cell['updates']:>10,} {cell['wall_seconds']:>7.3f} "
+            f"{cell['join_seconds']:>7.3f} {cell['final_rmse']:>7.4f}"
+        )
+
+    assert len(cells) == len(ENGINES_UNDER_TEST)
+    assert all(cell["updates_per_sec"] > 0 for cell in cells)

@@ -12,10 +12,12 @@ The package provides:
   supporting engine — ``fit(train, test, algorithm="nomad",
   engine="simulated")`` — returning a uniform :class:`repro.FitResult`
   (convergence trace, trained factors, deployable model, timing block);
-* three stock engines behind the facade: the deterministic discrete-event
-  cluster simulator plus real thread- and process-based NOMAD runtimes,
-  all registry entries (:data:`repro.ENGINES`), so future substrates plug
-  in without new public classes;
+* four stock engines behind the facade: the deterministic discrete-event
+  cluster simulator, real thread- and process-based NOMAD runtimes, and a
+  socket-based ``"cluster"`` engine whose workers exchange serialized
+  token envelopes over localhost TCP with no shared memory — all registry
+  entries (:data:`repro.ENGINES`), so future substrates plug in without
+  new public classes;
 * every baseline of the paper's evaluation (DSGD, DSGD++, FPSGD**, CCD++,
   ALS, a GraphLab-style lock-server ALS, Hogwild) in the algorithm
   registry (:data:`repro.ALGORITHMS`);
@@ -39,10 +41,11 @@ Quickstart::
     print(result.trace.final_rmse())
     print(result.model.recommend(user=0, top_n=5))
 
-Swap ``engine="simulated"`` for ``"threaded"`` or ``"multiprocess"`` to
-run the same NOMAD protocol on live concurrency primitives (``duration``
-then means real wall seconds).  Unsupported (algorithm, engine) pairs
-raise :class:`repro.ConfigError` listing every valid combination.
+Swap ``engine="simulated"`` for ``"threaded"``, ``"multiprocess"``, or
+``"cluster"`` to run the same NOMAD protocol on live concurrency
+primitives (``duration`` then means real wall seconds).  Unsupported
+(algorithm, engine) pairs raise :class:`repro.ConfigError` listing every
+valid combination.
 """
 
 from .api import (
@@ -89,12 +92,15 @@ from .datasets import (
     make_netflix_like,
     train_test_split,
 )
+from .cluster import ClusterNomad
 from .errors import (
+    ClusterError,
     ConfigError,
     DataError,
     ExperimentError,
     ReproError,
     SimulationError,
+    WireError,
 )
 from .experiments import (
     EXPERIMENT_REGISTRY,
@@ -162,6 +168,7 @@ __all__ = [
     # runtimes
     "ThreadedNomad",
     "MultiprocessNomad",
+    "ClusterNomad",
     # datasets
     "RatingMatrix",
     "SyntheticSpec",
@@ -205,4 +212,6 @@ __all__ = [
     "DataError",
     "SimulationError",
     "ExperimentError",
+    "WireError",
+    "ClusterError",
 ]

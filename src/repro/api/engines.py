@@ -9,6 +9,9 @@ Each engine is one runner callable ``(FitRequest) -> FitResult`` plus a
 * ``"threaded"`` — real Python threads (protocol validation; GIL-bound).
 * ``"multiprocess"`` — real processes over shared-memory factors (true
   parallelism; requires the ``fork`` start method).
+* ``"cluster"`` — real worker processes exchanging serialized token
+  envelopes over localhost TCP sockets, no shared memory (the paper's
+  multi-machine communication path; fork-free, ``spawn``-started).
 
 The live engines run NOMAD only (the paper's baselines are simulated
 algorithms); their traces record the endpoints — the seed-determined
@@ -24,6 +27,7 @@ from __future__ import annotations
 
 import time
 
+from ..cluster.coordinator import ClusterNomad
 from ..config import RunConfig
 from ..errors import ConfigError
 from ..linalg.factors import init_factors
@@ -36,6 +40,7 @@ from ..simulator.cluster import Cluster
 from ..simulator.network import HPC_PROFILE
 from ..simulator.trace import Trace
 from .registry import (
+    CLUSTER,
     MULTIPROCESS,
     SIMULATED,
     THREADED,
@@ -45,7 +50,12 @@ from .registry import (
 )
 from .result import FitResult, FitTiming
 
-__all__ = ["run_simulated", "run_threaded", "run_multiprocess"]
+__all__ = [
+    "run_simulated",
+    "run_threaded",
+    "run_multiprocess",
+    "run_cluster",
+]
 
 #: Worker count used when neither ``n_workers`` nor a cluster is given.
 _DEFAULT_WORKERS = 2
@@ -103,8 +113,14 @@ def run_simulated(request: FitRequest) -> FitResult:
     )
 
 
-def _reject_simulated_only(request: FitRequest) -> None:
-    """The live runtimes take no simulation-layer extras — fail eagerly."""
+def _reject_simulated_only(
+    request: FitRequest, allowed: frozenset[str] = frozenset()
+) -> None:
+    """The live runtimes take no simulation-layer extras — fail eagerly.
+
+    ``allowed`` names engine-specific keywords the caller will consume
+    (e.g. the cluster engine's ``transport=``); anything else fails.
+    """
     engine = request.engine.name
     if request.options is not None:
         raise ConfigError(
@@ -118,10 +134,11 @@ def _reject_simulated_only(request: FitRequest) -> None:
             f"{engine!r} engine (the live runtimes initialize from "
             "run.seed); use engine='simulated'"
         )
-    if request.extra:
+    unsupported = set(request.extra) - allowed
+    if unsupported:
         raise ConfigError(
             f"unsupported keyword(s) for engine {engine!r}: "
-            f"{sorted(request.extra)}"
+            f"{sorted(unsupported)}"
         )
 
 
@@ -196,6 +213,29 @@ def run_multiprocess(request: FitRequest) -> FitResult:
     return _live_result(request, n_workers, runner.seed, runner.run())
 
 
+#: Engine-specific ``fit(...)`` keywords the cluster runner consumes.
+_CLUSTER_KWARGS = frozenset({"transport", "batch_size"})
+
+
+def run_cluster(request: FitRequest) -> FitResult:
+    """Run NOMAD on socket-connected worker processes (message passing).
+
+    With no run config, the runtime's historical 1-second wall budget
+    and seed 0 apply.  Two engine-specific keywords pass through
+    :func:`repro.fit`: ``transport`` (``"tcp"`` — the default, real
+    localhost sockets over spawned processes — or ``"loopback"`` for the
+    in-process test substrate) and ``batch_size`` (tokens per §3.5
+    envelope).
+    """
+    _reject_simulated_only(request, allowed=_CLUSTER_KWARGS)
+    n_workers = _resolve_workers(request)
+    runner = ClusterNomad(
+        request.train, request.test, n_workers, request.hyper,
+        run=request.run, **request.extra,
+    )
+    return _live_result(request, n_workers, runner.seed, runner.run())
+
+
 register_engine(
     EngineSpec(
         name=SIMULATED,
@@ -215,5 +255,15 @@ register_engine(
         name=MULTIPROCESS,
         runner=run_multiprocess,
         description="real processes over shared-memory factors (NOMAD)",
+    )
+)
+register_engine(
+    EngineSpec(
+        name=CLUSTER,
+        runner=run_cluster,
+        description=(
+            "worker processes over localhost TCP sockets, message "
+            "passing only (NOMAD; fork-free)"
+        ),
     )
 )

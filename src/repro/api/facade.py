@@ -58,10 +58,11 @@ def fit(
         ``"dsgd"``, ``"dsgd++"``, ``"fpsgd"``, ``"ccd++"``, ``"als"``,
         ``"graphlab-als"``, ``"hogwild"``, ``"serialsgd"``.
     engine:
-        Execution substrate: ``"simulated"`` (every algorithm),
-        ``"threaded"`` or ``"multiprocess"`` (NOMAD).  Unsupported pairs
-        raise :class:`~repro.errors.ConfigError` naming every valid
-        combination.
+        Execution substrate: ``"simulated"`` (every algorithm);
+        ``"threaded"``, ``"multiprocess"``, or ``"cluster"`` (NOMAD —
+        the latter over localhost sockets with no shared memory).
+        Unsupported pairs raise :class:`~repro.errors.ConfigError`
+        naming every valid combination.
     hyper:
         Model hyperparameters; defaults to :class:`HyperParams()
         <repro.config.HyperParams>`.

@@ -8,9 +8,10 @@ Two registries make the facade extensible without new public classes:
 * :data:`ENGINES` — every execution substrate, keyed by name, each
   contributing one runner callable ``(FitRequest) -> FitResult``.
 
-A new engine (numba kernels, real sockets, a gossip topology) is one
-:func:`register_engine` call plus capability flags on the algorithms it
-supports; a new algorithm is one :func:`register_algorithm` call.  Lookup
+A new engine (numba kernels, a gossip topology, a multi-host transport)
+is one :func:`register_engine` call plus capability flags on the
+algorithms it supports — the ``"cluster"`` socket engine entered exactly
+this way; a new algorithm is one :func:`register_algorithm` call.  Lookup
 is case-insensitive and alias-aware (``"fpsgd"`` → ``"FPSGD**"``), and an
 unsupported (algorithm, engine) pair fails eagerly with a
 :class:`~repro.errors.ConfigError` listing every valid combination.
@@ -58,6 +59,7 @@ __all__ = [
 SIMULATED = "simulated"
 THREADED = "threaded"
 MULTIPROCESS = "multiprocess"
+CLUSTER = "cluster"
 
 
 @dataclass(frozen=True)
@@ -233,7 +235,7 @@ def check_pair(algorithm: AlgorithmSpec, engine: EngineSpec) -> None:
     )
 
 
-_ALL_ENGINES = frozenset({SIMULATED, THREADED, MULTIPROCESS})
+_ALL_ENGINES = frozenset({SIMULATED, THREADED, MULTIPROCESS, CLUSTER})
 _SIM_ONLY = frozenset({SIMULATED})
 
 register_algorithm(

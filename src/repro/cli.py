@@ -7,6 +7,7 @@ Usage::
     repro-nomad run --experiment fig08 --outdir results/
     repro-nomad fit --algorithm nomad --engine simulated --duration 0.1
     repro-nomad fit --engine threaded --workers 4 --duration 1.0
+    repro-nomad fit --engine cluster --workers 4 --duration 1.0
     repro-nomad fit --list
 
 ``run`` prints the ASCII report to stdout and optionally writes every
@@ -134,7 +135,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help=(
-            "worker count for the live engines (default: machines*cores; "
+            "worker count for the live engines — threads, shared-memory "
+            "processes, or cluster nodes (default: machines*cores; "
             "rejected with --engine simulated — use --machines/--cores)"
         ),
     )

@@ -1,0 +1,338 @@
+"""Versioned binary wire format of the socket cluster engine.
+
+Everything two cluster nodes exchange — nomadic token envelopes, the
+bootstrap handshake, stop/drain control frames, and result shards — is one
+*frame body*: a fixed header (magic, version, message kind) followed by a
+kind-specific binary payload.  The transport layer
+(:mod:`repro.cluster.transport`) adds a 4-byte length prefix around each
+body; this module is framing-agnostic and purely about bytes ↔ messages.
+
+The token envelope is the §3.5 batched message: a fixed number of
+``(j, h_j)`` pairs accumulated before transmission so the per-message
+latency is amortized across the batch.  Each token carries the item index,
+the sender's queue-size hint (the §3.3 payload that lets receivers gauge
+load), and the ``k`` floats of ``h_j`` — :data:`TOKEN_OVERHEAD_BYTES` +
+``8k`` bytes per token, byte-identical to the simulator's cost model
+(:func:`repro.simulator.network.token_bytes`), so the simulated and real
+communication volumes stay comparable.  The envelope itself adds
+:data:`ENVELOPE_OVERHEAD_BYTES` of header once per batch.
+
+All integers are big-endian (network byte order); factor payloads are
+big-endian IEEE-754 doubles.  Decoding validates magic, version, and
+every length before reading, raising :class:`~repro.errors.WireError`
+on truncated or foreign frames.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import WireError
+
+__all__ = [
+    "WIRE_VERSION",
+    "ENVELOPE_OVERHEAD_BYTES",
+    "RESULT_OVERHEAD_BYTES",
+    "TOKEN_OVERHEAD_BYTES",
+    "Token",
+    "TokenEnvelope",
+    "Ready",
+    "Peers",
+    "Stop",
+    "Fin",
+    "ResultShard",
+    "encode_tokens",
+    "encode_ready",
+    "encode_peers",
+    "encode_stop",
+    "encode_fin",
+    "encode_result",
+    "decode",
+]
+
+#: Wire protocol version; bumped on any incompatible layout change.
+WIRE_VERSION = 1
+
+_MAGIC = b"NM"
+_HEADER = struct.Struct(">2sBB")  # magic, version, kind
+
+_KIND_TOKENS = 1
+_KIND_READY = 2
+_KIND_PEERS = 3
+_KIND_STOP = 4
+_KIND_FIN = 5
+_KIND_RESULT = 6
+
+_TOKENS_HEAD = struct.Struct(">II")  # k, count
+_TOKEN_META = struct.Struct(">qq")  # item index, queue-size hint
+_READY_BODY = struct.Struct(">IH")  # worker id, listening port
+_PEER_ENTRY = struct.Struct(">IH")  # worker id, listening port
+_FIN_BODY = struct.Struct(">I")  # worker id
+_RESULT_HEAD = struct.Struct(">IQIII")  # worker, updates, k, n_rows, n_held
+_COUNT = struct.Struct(">I")
+
+_F8 = np.dtype(">f8")
+_I8 = np.dtype(">i8")
+
+#: Header bytes paid once per token envelope (frame header + k + count).
+ENVELOPE_OVERHEAD_BYTES = _HEADER.size + _TOKENS_HEAD.size
+
+#: Header bytes of a result-shard frame (frame header + result head);
+#: the payload adds ``8`` bytes per row index, ``8k`` per factor row,
+#: and one token's bytes per held token.
+RESULT_OVERHEAD_BYTES = _HEADER.size + _RESULT_HEAD.size
+
+#: Non-payload bytes per token: item index + queue-size hint (§3.3).  Kept
+#: equal to the simulator cost model's ``_TOKEN_OVERHEAD_BYTES`` so one
+#: serialized token occupies exactly ``network.token_bytes(k)`` bytes.
+TOKEN_OVERHEAD_BYTES = _TOKEN_META.size
+
+
+@dataclass
+class Token:
+    """One nomadic ``(j, h_j)`` pair in flight.
+
+    ``queue_hint`` is the sender's mailbox depth at send time — the §3.3
+    queue-size payload receivers may use for load-aware routing.  ``h`` is
+    a writable float64 vector: the current item factor, mutated in place
+    by the holder and re-serialized on the next hop.
+    """
+
+    item: int
+    queue_hint: int
+    h: np.ndarray
+
+
+@dataclass
+class TokenEnvelope:
+    """A §3.5 batch of tokens, decoded."""
+
+    k: int
+    tokens: list[Token]
+
+
+@dataclass(frozen=True)
+class Ready:
+    """Worker → coordinator: bound and listening on ``port``."""
+
+    worker_id: int
+    port: int
+
+
+@dataclass(frozen=True)
+class Peers:
+    """Coordinator → worker: the full worker-id → port address book."""
+
+    ports: dict[int, int]
+
+
+@dataclass(frozen=True)
+class Stop:
+    """Coordinator → worker: stop updating, drain, and report."""
+
+
+@dataclass(frozen=True)
+class Fin:
+    """Worker → worker: no more tokens will follow on this link."""
+
+    worker_id: int
+
+
+@dataclass
+class ResultShard:
+    """Worker → coordinator: final local state after the drain barrier.
+
+    ``rows``/``w`` are the worker's user-factor shard (global row indices
+    and their ``(len(rows), k)`` factor block); ``held`` is every token at
+    rest on the worker when the network went quiet — the coordinator
+    reassembles ``H`` from the union of all held tokens.
+    """
+
+    worker_id: int
+    updates: int
+    k: int
+    rows: np.ndarray
+    w: np.ndarray
+    held: list[Token] = field(default_factory=list)
+
+
+def _check_k(k: int) -> None:
+    if k < 1:
+        raise WireError(f"k must be >= 1, got {k}")
+
+
+def _pack_token_block(tokens: list[Token], k: int) -> bytes:
+    parts = []
+    for token in tokens:
+        h = np.ascontiguousarray(token.h, dtype=_F8)
+        if h.shape != (k,):
+            raise WireError(
+                f"token {token.item} payload has shape {h.shape}, "
+                f"expected ({k},)"
+            )
+        parts.append(_TOKEN_META.pack(token.item, token.queue_hint))
+        parts.append(h.tobytes())
+    return b"".join(parts)
+
+
+class _Reader:
+    """Cursor over a frame body with length-checked reads."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self._pos + n
+        if end > len(self._data):
+            raise WireError(
+                f"truncated frame: wanted {n} bytes at offset {self._pos}, "
+                f"frame is {len(self._data)} bytes"
+            )
+        chunk = self._data[self._pos:end]
+        self._pos = end
+        return chunk
+
+    def unpack(self, spec: struct.Struct) -> tuple:
+        return spec.unpack(self.take(spec.size))
+
+    def array(self, dtype: np.dtype, count: int) -> np.ndarray:
+        chunk = self.take(dtype.itemsize * count)
+        return np.frombuffer(chunk, dtype=dtype).astype(
+            np.float64 if dtype == _F8 else np.int64
+        )
+
+    def done(self) -> None:
+        if self._pos != len(self._data):
+            raise WireError(
+                f"{len(self._data) - self._pos} trailing bytes after message"
+            )
+
+
+def _header(kind: int) -> bytes:
+    return _HEADER.pack(_MAGIC, WIRE_VERSION, kind)
+
+
+def encode_tokens(tokens: list[Token], k: int) -> bytes:
+    """Serialize one §3.5 envelope of ``tokens`` with latent dimension ``k``."""
+    _check_k(k)
+    return (
+        _header(_KIND_TOKENS)
+        + _TOKENS_HEAD.pack(k, len(tokens))
+        + _pack_token_block(tokens, k)
+    )
+
+
+def encode_ready(worker_id: int, port: int) -> bytes:
+    """Serialize the worker's bootstrap hello."""
+    return _header(_KIND_READY) + _READY_BODY.pack(worker_id, port)
+
+
+def encode_peers(ports: dict[int, int]) -> bytes:
+    """Serialize the coordinator's address-book broadcast."""
+    body = [_header(_KIND_PEERS), _COUNT.pack(len(ports))]
+    for worker_id in sorted(ports):
+        body.append(_PEER_ENTRY.pack(worker_id, ports[worker_id]))
+    return b"".join(body)
+
+
+def encode_stop() -> bytes:
+    """Serialize the stop broadcast."""
+    return _header(_KIND_STOP)
+
+
+def encode_fin(worker_id: int) -> bytes:
+    """Serialize the per-link drain marker."""
+    return _header(_KIND_FIN) + _FIN_BODY.pack(worker_id)
+
+
+def encode_result(
+    worker_id: int,
+    updates: int,
+    rows: np.ndarray,
+    w: np.ndarray,
+    held: list[Token],
+    k: int,
+) -> bytes:
+    """Serialize one worker's final shard + held tokens."""
+    _check_k(k)
+    rows = np.ascontiguousarray(rows, dtype=_I8)
+    w = np.ascontiguousarray(w, dtype=_F8)
+    if w.shape != (rows.size, k):
+        raise WireError(
+            f"result W block has shape {w.shape}, expected ({rows.size}, {k})"
+        )
+    return b"".join(
+        (
+            _header(_KIND_RESULT),
+            _RESULT_HEAD.pack(worker_id, updates, k, rows.size, len(held)),
+            rows.tobytes(),
+            w.tobytes(),
+            _pack_token_block(held, k),
+        )
+    )
+
+
+def _decode_token_block(reader: _Reader, k: int, count: int) -> list[Token]:
+    tokens = []
+    for _ in range(count):
+        item, queue_hint = reader.unpack(_TOKEN_META)
+        tokens.append(Token(item=item, queue_hint=queue_hint,
+                            h=reader.array(_F8, k)))
+    return tokens
+
+
+def decode(body: bytes):
+    """Decode one frame body into its message dataclass.
+
+    Raises :class:`~repro.errors.WireError` on anything that is not a
+    complete, current-version frame.
+    """
+    reader = _Reader(body)
+    magic, version, kind = reader.unpack(_HEADER)
+    if magic != _MAGIC:
+        raise WireError(f"bad magic {magic!r} (expected {_MAGIC!r})")
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"wire version {version} not supported (this node speaks "
+            f"{WIRE_VERSION})"
+        )
+    if kind == _KIND_TOKENS:
+        k, count = reader.unpack(_TOKENS_HEAD)
+        _check_k(k)
+        message = TokenEnvelope(k=k, tokens=_decode_token_block(reader, k, count))
+    elif kind == _KIND_READY:
+        worker_id, port = reader.unpack(_READY_BODY)
+        message = Ready(worker_id=worker_id, port=port)
+    elif kind == _KIND_PEERS:
+        (count,) = reader.unpack(_COUNT)
+        ports = {}
+        for _ in range(count):
+            worker_id, port = reader.unpack(_PEER_ENTRY)
+            ports[worker_id] = port
+        message = Peers(ports=ports)
+    elif kind == _KIND_STOP:
+        message = Stop()
+    elif kind == _KIND_FIN:
+        (worker_id,) = reader.unpack(_FIN_BODY)
+        message = Fin(worker_id=worker_id)
+    elif kind == _KIND_RESULT:
+        worker_id, updates, k, n_rows, n_held = reader.unpack(_RESULT_HEAD)
+        _check_k(k)
+        rows = reader.array(_I8, n_rows)
+        w = reader.array(_F8, n_rows * k).reshape(n_rows, k)
+        message = ResultShard(
+            worker_id=worker_id,
+            updates=updates,
+            k=k,
+            rows=rows,
+            w=w,
+            held=_decode_token_block(reader, k, n_held),
+        )
+    else:
+        raise WireError(f"unknown message kind {kind}")
+    reader.done()
+    return message

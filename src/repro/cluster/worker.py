@@ -1,0 +1,248 @@
+"""One cluster worker: the NOMAD inner loop over a message transport.
+
+Each worker owns a disjoint user-row shard and communicates **only** by
+serialized frames — no memory is shared with any other node.  The loop is
+Algorithm 1 verbatim, with the communication layer made explicit:
+
+* pop a ``(j, h_j)`` token from the local inbox, run the SGD updates over
+  the local ratings Ω̄^(q)_j through the configured
+  :class:`~repro.linalg.backends.base.KernelBackend`, and route the token
+  (with its freshly updated ``h_j`` payload) to a uniformly random worker;
+* outbound tokens accumulate in per-destination buffers and ship as §3.5
+  envelopes of ``batch_size`` tokens; buffers flush early whenever the
+  inbox runs dry, so a partial envelope can never strand a token while
+  the worker idles;
+* on ``Stop`` the worker freezes its model, sends a ``Fin`` drain marker
+  down every outbound link, and keeps receiving until it holds a ``Fin``
+  from every peer — TCP's per-connection ordering then guarantees every
+  token in flight has landed *somewhere*, making token conservation
+  checkable by the coordinator;
+* finally it reports a :class:`~repro.cluster.wire.ResultShard`: its user
+  factors, its update count, and every token at rest locally.
+
+The same function serves the spawned-process TCP path
+(:func:`tcp_worker_entry`, which adds the ready/peers bootstrap
+handshake) and the in-process loopback path used by tests.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import HyperParams
+from ..datasets.ratings import Shard
+from ..errors import ClusterError
+from ..linalg.backends import get_backend
+from ..rng import derive_pyrandom
+from .transport import COORDINATOR, TcpTransport, Transport
+from . import wire
+
+__all__ = ["WorkerSpec", "run_worker", "tcp_worker_entry"]
+
+#: Receive poll period while the inbox is empty, seconds.
+_POLL_SECONDS = 0.02
+
+#: Tokens processed per loop iteration before re-polling the transport,
+#: so a deep inbox cannot starve stop/drain handling.
+_BURST = 32
+
+#: How long a worker keeps draining after ``Stop`` before giving up on
+#: missing ``Fin`` markers (a dead peer); its own result still ships.
+_DRAIN_TIMEOUT = 10.0
+
+
+@dataclass
+class WorkerSpec:
+    """Everything one worker needs, shipped at spawn time.
+
+    The spec crosses the process boundary by serialization (pickle under
+    the ``spawn`` start method) — nothing in it is shared state.  Factor
+    payloads beyond the worker's own ``W`` shard arrive later as token
+    envelopes over the wire.
+
+    ``shard_rows`` holds *local* row positions (indices into the
+    worker's ``(len(w_rows), k)`` W block), so each worker allocates
+    only its own shard of user factors; ``w_rows`` maps those positions
+    back to global user ids when the result ships.
+    """
+
+    worker_id: int
+    n_workers: int
+    n_cols: int
+    hyper: HyperParams
+    backend_name: str
+    seed: int
+    batch_size: int
+    shard_rows: np.ndarray
+    shard_cols: np.ndarray
+    shard_vals: np.ndarray
+    w_rows: np.ndarray
+    w_init: np.ndarray
+
+
+def run_worker(
+    spec: WorkerSpec,
+    transport: Transport,
+    pending: list | None = None,
+) -> None:
+    """Run Algorithm 1 on ``transport`` until drained; report the result.
+
+    ``pending`` carries decoded messages that arrived interleaved with
+    the bootstrap handshake (possible on the TCP path, where a fast peer
+    may route tokens — or even stop and send ``Fin`` — before this
+    worker finished reading ``Peers``); they are dispatched first,
+    exactly as if they had just been received.
+    """
+    hyper = spec.hyper
+    k = hyper.k
+    backend = get_backend(spec.backend_name)
+    # Only this worker's user factors exist here; shard_rows index into
+    # this local block directly (copy: the kernels mutate it in place).
+    w = np.array(spec.w_init, dtype=np.float64)
+    shard = Shard(
+        worker=spec.worker_id,
+        n_cols=spec.n_cols,
+        rows=spec.shard_rows,
+        cols=spec.shard_cols,
+        vals=spec.shard_vals,
+    )
+    counts = np.zeros(shard.nnz, dtype=np.int64)
+    routing = derive_pyrandom(spec.seed, f"cluster-route-{spec.worker_id}")
+    peers = [q for q in range(spec.n_workers) if q != spec.worker_id]
+    inbox: deque[wire.Token] = deque()
+    buffers: dict[int, list[wire.Token]] = {q: [] for q in peers}
+    updates = 0
+    stopping = False
+    fins: set[int] = set()
+    drain_deadline = float("inf")
+
+    def flush(dest: int) -> None:
+        batch = buffers[dest]
+        if batch:
+            transport.send(dest, wire.encode_tokens(batch, k))
+            batch.clear()
+
+    def dispatch(message) -> None:
+        nonlocal stopping, drain_deadline
+        if isinstance(message, wire.TokenEnvelope):
+            inbox.extend(message.tokens)
+        elif isinstance(message, wire.Stop):
+            # Idempotent: the coordinator may re-broadcast Stop on its
+            # failure path; a second one must not push the drain
+            # deadline out or send duplicate Fin markers.
+            if not stopping:
+                stopping = True
+                drain_deadline = time.monotonic() + _DRAIN_TIMEOUT
+                for q in peers:
+                    transport.send(q, wire.encode_fin(spec.worker_id))
+        elif isinstance(message, wire.Fin):
+            fins.add(message.worker_id)
+        else:
+            raise ClusterError(
+                f"worker {spec.worker_id} got unexpected "
+                f"{type(message).__name__} frame"
+            )
+
+    for message in pending or ():
+        dispatch(message)
+
+    while True:
+        # Drain every frame already delivered; block only when idle.
+        timeout = 0.0 if (inbox and not stopping) else _POLL_SECONDS
+        body = transport.recv(timeout=timeout)
+        while body is not None:
+            dispatch(wire.decode(body))
+            body = transport.recv(timeout=0.0)
+
+        if stopping:
+            # Tokens received after Stop are held, not processed: the
+            # model freezes at the stop signal, matching the other live
+            # runtimes' timing contract.
+            if fins.issuperset(peers) or time.monotonic() > drain_deadline:
+                break
+            continue
+
+        for _ in range(min(len(inbox), _BURST)):
+            token = inbox.popleft()
+            users, ratings = shard.column(token.item)
+            if users.size:
+                lo, hi = shard.column_bounds(token.item)
+                updates += backend.process_column(
+                    w, token.h, users, ratings, counts[lo:hi],
+                    hyper.alpha, hyper.beta, hyper.lambda_,
+                )
+            token.queue_hint = len(inbox)
+            dest = routing.randrange(spec.n_workers)
+            if dest == spec.worker_id:
+                inbox.append(token)  # a self-hop is a local queue push (§3.4)
+            else:
+                buffers[dest].append(token)
+                if len(buffers[dest]) >= spec.batch_size:
+                    flush(dest)
+        if not inbox:
+            for q in peers:
+                flush(q)
+
+    held = list(inbox)
+    for batch in buffers.values():
+        held.extend(batch)
+    transport.send(
+        COORDINATOR,
+        wire.encode_result(spec.worker_id, updates, spec.w_rows, w, held, k),
+    )
+
+
+def _await_peers(
+    transport: TcpTransport, timeout: float
+) -> tuple[wire.Peers, list]:
+    """Wait for the coordinator's address book during bootstrap.
+
+    Frames from already-bootstrapped peers may arrive first — token
+    envelopes, and on a heavily oversubscribed host even a ``Fin`` from
+    a peer that raced through a whole short run.  Everything that is
+    not the ``Peers`` broadcast is buffered in arrival order and handed
+    to :func:`run_worker` for dispatch (the coordinator's own link
+    delivers ``Peers`` before any later control frame, so ``Stop``
+    cannot overtake it, but peer links are independent).
+    """
+    deadline = time.monotonic() + timeout
+    early: list = []
+    while time.monotonic() < deadline:
+        body = transport.recv(timeout=_POLL_SECONDS)
+        if body is None:
+            continue
+        message = wire.decode(body)
+        if isinstance(message, wire.Peers):
+            return message, early
+        early.append(message)
+    raise ClusterError(
+        f"worker {transport.node_id} never received the Peers broadcast"
+    )
+
+
+def tcp_worker_entry(
+    spec: WorkerSpec,
+    coordinator_port: int,
+    host: str = "127.0.0.1",
+    bootstrap_timeout: float = 30.0,
+) -> None:
+    """Process entry point of one TCP worker (module-level for ``spawn``).
+
+    Bootstrap: bind an OS-chosen port, announce it to the coordinator
+    with ``Ready``, wait for the ``Peers`` address book, then hand off to
+    :func:`run_worker`.
+    """
+    with TcpTransport(spec.worker_id, host=host) as transport:
+        transport.register_peer(COORDINATOR, host, coordinator_port)
+        transport.send(
+            COORDINATOR, wire.encode_ready(spec.worker_id, transport.port)
+        )
+        peers, early = _await_peers(transport, bootstrap_timeout)
+        for worker_id, port in peers.ports.items():
+            if worker_id != spec.worker_id:
+                transport.register_peer(worker_id, host, port)
+        run_worker(spec, transport, pending=early)

@@ -34,3 +34,23 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment specification could not be resolved or executed."""
+
+
+class WireError(ReproError):
+    """A cluster wire-format frame is malformed.
+
+    Raised when decoding a frame whose magic, version, kind, or length
+    does not match the :mod:`repro.cluster.wire` format — a truncated
+    frame, a stray connection, or a version skew between nodes.
+    """
+
+
+class ClusterError(ReproError):
+    """The socket cluster engine reached an inconsistent state.
+
+    Raised by the control plane: a worker that never reported ready, a
+    missing result shard, or a violated token-conservation invariant
+    (an item factor lost or duplicated in flight).  Like
+    :class:`SimulationError`, this signals a protocol bug or a dead
+    worker, never a user mistake.
+    """

@@ -3,6 +3,7 @@
 from .partitioners import (
     partition_rows_equal_count,
     partition_rows_equal_ratings,
+    partition_worker_triplets,
     partition_range_blocks,
     BlockGrid,
 )
@@ -11,6 +12,7 @@ from .assignments import OwnershipLedger
 __all__ = [
     "partition_rows_equal_count",
     "partition_rows_equal_ratings",
+    "partition_worker_triplets",
     "partition_range_blocks",
     "BlockGrid",
     "OwnershipLedger",

@@ -18,6 +18,7 @@ from ..datasets.ratings import RatingMatrix
 __all__ = [
     "partition_rows_equal_count",
     "partition_rows_equal_ratings",
+    "partition_worker_triplets",
     "partition_range_blocks",
     "BlockGrid",
 ]
@@ -63,6 +64,32 @@ def partition_rows_equal_ratings(matrix: RatingMatrix, p: int) -> list[np.ndarra
         sets.append(np.arange(start, end))
         start = end
     return sets
+
+
+def partition_worker_triplets(
+    matrix: RatingMatrix, p: int
+) -> tuple[list[np.ndarray], list[tuple[np.ndarray, np.ndarray, np.ndarray]]]:
+    """Partition rows by equal ratings and split the COO triplets per worker.
+
+    The serialized-shard layout both distributed runtimes feed their
+    workers: ``partition[q]`` is worker ``q``'s row set I_q and
+    ``triplets[q]`` its local ``(rows, cols, vals)`` arrays — the
+    ratings whose user belongs to I_q, ready to rebuild Ω̄^(q) without
+    the full matrix.  Held in one place so the process- and
+    socket-based engines can never shard differently.
+    """
+    partition = partition_rows_equal_ratings(matrix, p)
+    owner = np.empty(matrix.n_rows, dtype=np.int64)
+    for q, members in enumerate(partition):
+        owner[members] = q
+    rating_owner = owner[matrix.rows]
+    triplets = []
+    for q in range(p):
+        mask = rating_owner == q
+        triplets.append(
+            (matrix.rows[mask], matrix.cols[mask], matrix.vals[mask])
+        )
+    return partition, triplets
 
 
 def partition_range_blocks(n: int, blocks: int) -> list[np.ndarray]:

@@ -50,7 +50,7 @@ from ..errors import ConfigError
 from ..linalg.backends import get_backend, resolve_backend
 from ..linalg.factors import FactorPair, init_factors
 from ..linalg.objective import test_rmse
-from ..partition.partitioners import partition_rows_equal_ratings
+from ..partition.partitioners import partition_worker_triplets
 from ..rng import RngFactory, derive_pyrandom
 from .result import RuntimeResult, resolve_duration, resolve_run_settings
 
@@ -152,6 +152,24 @@ def _worker_main(
         shm_h.close()
 
 
+def _release_blocks(blocks: list[shared_memory.SharedMemory]) -> None:
+    """Close and unlink every created block, tolerating partial failure.
+
+    Runs under ``finally``: each block gets its ``unlink`` attempt even
+    if closing or unlinking an earlier one raises, so a worker crash or
+    a failed second allocation can never leak the first block.
+    """
+    for shm in blocks:
+        try:
+            shm.close()
+        except OSError:
+            pass
+        try:
+            shm.unlink()
+        except OSError:
+            pass  # already gone, or unlinkable — never skip later blocks
+
+
 class MultiprocessNomad:
     """Owner-computes NOMAD over processes and shared memory.
 
@@ -221,18 +239,20 @@ class MultiprocessNomad:
             self.train.n_rows, self.train.n_cols, self.hyper.k,
             factory.stream("init"),
         )
-        partition = partition_rows_equal_ratings(self.train, self.n_workers)
+        _, shard_triplets = partition_worker_triplets(
+            self.train, self.n_workers
+        )
 
-        # Shard triplets per worker, serialized into plain arrays so the
-        # workers can rebuild their local Ω̄^(q) without the full matrix.
-        owner = np.empty(self.train.n_rows, dtype=np.int64)
-        for q, members in enumerate(partition):
-            owner[members] = q
-        rating_owner = owner[self.train.rows]
-
-        shm_w = shared_memory.SharedMemory(create=True, size=init.w.nbytes)
-        shm_h = shared_memory.SharedMemory(create=True, size=init.h.nbytes)
+        # Both blocks are created inside the guarded region: if creating
+        # the second one fails, or a worker/collection error propagates,
+        # _release_blocks still unlinks whatever exists — a leaked block
+        # would otherwise survive in /dev/shm until reboot.
+        blocks: list[shared_memory.SharedMemory] = []
         try:
+            shm_w = shared_memory.SharedMemory(create=True, size=init.w.nbytes)
+            blocks.append(shm_w)
+            shm_h = shared_memory.SharedMemory(create=True, size=init.h.nbytes)
+            blocks.append(shm_h)
             w_shared = np.ndarray(init.w.shape, np.float64, buffer=shm_w.buf)
             h_shared = np.ndarray(init.h.shape, np.float64, buffer=shm_h.buf)
             w_shared[:] = init.w
@@ -249,7 +269,7 @@ class MultiprocessNomad:
 
             processes = []
             for q in range(self.n_workers):
-                mask = rating_owner == q
+                shard_rows, shard_cols, shard_vals = shard_triplets[q]
                 process = context.Process(
                     target=_worker_main,
                     args=(
@@ -259,9 +279,9 @@ class MultiprocessNomad:
                         shm_h.name,
                         init.w.shape,
                         init.h.shape,
-                        self.train.rows[mask],
-                        self.train.cols[mask],
-                        self.train.vals[mask],
+                        shard_rows,
+                        shard_cols,
+                        shard_vals,
                         self.hyper,
                         self.backend.name,
                         self.seed,
@@ -303,10 +323,7 @@ class MultiprocessNomad:
 
             final = FactorPair(w_shared.copy(), h_shared.copy())
         finally:
-            shm_w.close()
-            shm_h.close()
-            shm_w.unlink()
-            shm_h.unlink()
+            _release_blocks(blocks)
 
         return MultiprocessResult(
             factors=final,

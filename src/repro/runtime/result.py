@@ -1,14 +1,16 @@
 """Shared machinery of the real (wall-clock) NOMAD runtimes.
 
-Both live runtimes — threads and processes — report the same outcome
-fields and resolve their run settings the same way; this module holds
-both halves once so the two can never drift apart:
+All live runtimes — threads, shared-memory processes, and the socket
+cluster — report the same outcome fields and resolve their run settings
+the same way; this module holds both halves once so they can never
+drift apart:
 
 * :class:`RuntimeResult` — the common result dataclass (the
   :func:`repro.fit` facade folds it into the uniform
   :class:`~repro.api.result.FitTiming` block), with
-  :class:`~repro.runtime.threaded.ThreadedResult` and
-  :class:`~repro.runtime.multiprocess.MultiprocessResult` as thin,
+  :class:`~repro.runtime.threaded.ThreadedResult`,
+  :class:`~repro.runtime.multiprocess.MultiprocessResult`, and
+  :class:`~repro.cluster.coordinator.ClusterResult` as thin,
   backward-compatible subclasses.
 * :func:`resolve_run_settings` / :func:`resolve_duration` — the
   precedence rules between explicit constructor/``run()`` arguments and

@@ -36,7 +36,9 @@ LIVE_RUN = RunConfig(duration=0.25, eval_interval=0.25, seed=3)
 
 class TestRegistries:
     def test_stock_engines_registered(self):
-        assert {"simulated", "threaded", "multiprocess"} == set(ENGINES)
+        assert {"simulated", "threaded", "multiprocess", "cluster"} == set(
+            ENGINES
+        )
 
     def test_stock_algorithms_registered(self):
         expected = {"NOMAD", "DSGD", "DSGD++", "FPSGD**", "CCD++", "ALS",
@@ -65,7 +67,7 @@ class TestRegistries:
 
     def test_capability_flags(self):
         assert ALGORITHMS["NOMAD"].engines == {
-            "simulated", "threaded", "multiprocess"
+            "simulated", "threaded", "multiprocess", "cluster"
         }
         for name, spec in ALGORITHMS.items():
             if name != "NOMAD":
@@ -73,10 +75,12 @@ class TestRegistries:
 
     def test_supported_pairs_matrix(self):
         pairs = supported_pairs()
-        # 9 algorithms on simulated + NOMAD on the two live engines.
-        assert len(pairs) == len(ALGORITHMS) + 2
+        # 9 algorithms on simulated + NOMAD on the three live engines.
+        assert len(pairs) == len(ALGORITHMS) + 3
         assert ("NOMAD", "threaded") in pairs
+        assert ("NOMAD", "cluster") in pairs
         assert ("ALS", "threaded") not in pairs
+        assert ("ALS", "cluster") not in pairs
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ConfigError, match="already registered"):
@@ -120,7 +124,7 @@ class TestPairRejection:
         message = str(excinfo.value)
         # The error names the pair and lists the full support matrix.
         assert "'ALS'" in message and "'threaded'" in message
-        assert "NOMAD: multiprocess, simulated, threaded" in message
+        assert "NOMAD: cluster, multiprocess, simulated, threaded" in message
         assert "ALS: simulated" in message
 
     def test_every_undeclared_pair_rejected(self, tiny_split):
@@ -238,7 +242,7 @@ class TestFitSimulated:
 
 
 class TestFitLiveEngines:
-    @pytest.mark.parametrize("engine", ["threaded", "multiprocess"])
+    @pytest.mark.parametrize("engine", ["threaded", "multiprocess", "cluster"])
     def test_smoke(self, tiny_split, engine):
         train, test = tiny_split
         result = fit(

@@ -122,6 +122,76 @@ class TestMultiprocessNomad:
         assert hyper_param.annotation == "HyperParams"
 
 
+class TestSharedMemoryTeardown:
+    """Regression: the shared W/H blocks must be unlinked on every exit
+    path — a crashing worker or a failed second allocation used to be
+    able to leak a block into /dev/shm for the life of the machine."""
+
+    @staticmethod
+    def _recording_shm(monkeypatch, fail_on_create=None):
+        """Patch SharedMemory to record created block names (and
+        optionally fail the Nth create)."""
+        from multiprocessing import shared_memory as shm_module
+
+        real = shm_module.SharedMemory
+        created = []
+
+        class Recording(real):
+            def __init__(self, *args, **kwargs):
+                if kwargs.get("create"):
+                    if len(created) + 1 == fail_on_create:
+                        raise OSError("simulated allocation failure")
+                    super().__init__(*args, **kwargs)
+                    created.append(self.name)
+                else:
+                    super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(shm_module, "SharedMemory", Recording)
+        return created, real
+
+    @staticmethod
+    def _assert_unlinked(real, names):
+        assert names, "test never saw a block created"
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                real(name=name)
+
+    def test_unlinked_after_clean_run(self, tiny_split, monkeypatch):
+        train, test = tiny_split
+        created, real = self._recording_shm(monkeypatch)
+        runner = MultiprocessNomad(train, test, 1, HYPER, seed=1)
+        runner.run(duration_seconds=0.2)
+        assert len(created) == 2
+        self._assert_unlinked(real, created)
+
+    def test_unlinked_when_worker_raises(self, tiny_split, monkeypatch):
+        """Workers that die immediately: the run still tears down both
+        blocks (result collection is bounded by the join timeout)."""
+        train, test = tiny_split
+        created, real = self._recording_shm(monkeypatch)
+
+        def crashing_worker(*args, **kwargs):
+            raise RuntimeError("worker crashed before reporting")
+
+        monkeypatch.setattr(mp_module, "_worker_main", crashing_worker)
+        monkeypatch.setattr(mp_module, "_JOIN_TIMEOUT", 0.5)
+        runner = MultiprocessNomad(train, test, 2, HYPER, seed=1)
+        result = runner.run(duration_seconds=0.1)
+        assert result.updates == 0  # nobody reported
+        self._assert_unlinked(real, created)
+
+    def test_first_block_unlinked_when_second_allocation_fails(
+        self, tiny_split, monkeypatch
+    ):
+        train, test = tiny_split
+        created, real = self._recording_shm(monkeypatch, fail_on_create=2)
+        runner = MultiprocessNomad(train, test, 1, HYPER, seed=1)
+        with pytest.raises(OSError, match="simulated allocation"):
+            runner.run(duration_seconds=0.1)
+        assert len(created) == 1
+        self._assert_unlinked(real, created)
+
+
 class TestTimingSemantics:
     """wall_seconds covers the parallel section only (stamped at the stop
     signal); shutdown cost is reported separately as join_seconds."""
