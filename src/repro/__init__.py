@@ -11,13 +11,19 @@ The package provides:
 * one entry point, :func:`repro.fit`: any registered algorithm on any
   supporting engine — ``fit(train, test, algorithm="nomad",
   engine="simulated")`` — returning a uniform :class:`repro.FitResult`
-  (convergence trace, trained factors, deployable model, timing block);
-* four stock engines behind the facade: the deterministic discrete-event
-  cluster simulator, real thread- and process-based NOMAD runtimes, and a
+  (convergence trace, trained factors, deployable model, timing block),
+  with ``init_factors=`` warm starts honored everywhere;
+* five stock engines behind the facade: the deterministic discrete-event
+  cluster simulator, real thread- and process-based NOMAD runtimes, a
   socket-based ``"cluster"`` engine whose workers exchange serialized
-  token envelopes over localhost TCP with no shared memory — all registry
-  entries (:data:`repro.ENGINES`), so future substrates plug in without
-  new public classes;
+  token envelopes over localhost TCP with no shared memory, and the
+  in-process warm-start ``"dynamic"`` trainer — all registry entries
+  (:data:`repro.ENGINES`), so future substrates plug in without new
+  public classes;
+* a streaming subsystem (:mod:`repro.stream`) behind
+  :func:`repro.fit_stream`: online rating ingestion with §4 fold-in of
+  new users/items, prequential scoring, rotating immutable serving
+  snapshots, and a cached :class:`repro.Recommender` serving front;
 * every baseline of the paper's evaluation (DSGD, DSGD++, FPSGD**, CCD++,
   ALS, a GraphLab-style lock-server ALS, Hogwild) in the algorithm
   registry (:data:`repro.ALGORITHMS`);
@@ -55,10 +61,13 @@ from .api import (
     EngineSpec,
     FitResult,
     FitTiming,
+    StreamResult,
     fit,
+    fit_stream,
     register_algorithm,
     register_engine,
     supported_pairs,
+    supported_stream_pairs,
 )
 from .config import HyperParams, RunConfig
 from .core.load_balance import (
@@ -110,11 +119,24 @@ from .experiments import (
     run_experiment,
 )
 from .linalg import FactorPair, init_factors, test_rmse, regularized_objective
+from .linalg.factors import validate_init_factors
 from .linalg.losses import AbsoluteLoss, HuberLoss, Loss, SquaredLoss
 from .model import CompletionModel
 from .rng import RngFactory
 from .runtime import MultiprocessNomad, ThreadedNomad
 from .schedules import BoldDriver, ConstantSchedule, NomadSchedule
+from .stream import (
+    DeltaStore,
+    DriftStream,
+    DynamicNomad,
+    ModelSnapshot,
+    PrequentialTrace,
+    RatingEvent,
+    RatingStream,
+    Recommender,
+    ReplayStream,
+    SnapshotStore,
+)
 from .simulator import (
     COMMODITY_PROFILE,
     Cluster,
@@ -132,8 +154,10 @@ __all__ = [
     "__version__",
     # solver facade
     "fit",
+    "fit_stream",
     "FitResult",
     "FitTiming",
+    "StreamResult",
     "ALGORITHMS",
     "ENGINES",
     "AlgorithmSpec",
@@ -141,6 +165,18 @@ __all__ = [
     "register_algorithm",
     "register_engine",
     "supported_pairs",
+    "supported_stream_pairs",
+    # streaming subsystem
+    "RatingEvent",
+    "RatingStream",
+    "ReplayStream",
+    "DriftStream",
+    "DeltaStore",
+    "DynamicNomad",
+    "ModelSnapshot",
+    "PrequentialTrace",
+    "SnapshotStore",
+    "Recommender",
     # configuration
     "HyperParams",
     "RunConfig",
@@ -179,6 +215,7 @@ __all__ = [
     # numerics
     "FactorPair",
     "init_factors",
+    "validate_init_factors",
     "test_rmse",
     "regularized_objective",
     "Loss",

@@ -2,11 +2,16 @@
 
 * :func:`~repro.api.facade.fit` — one call to train any registered
   algorithm on any supporting engine.
+* :func:`~repro.api.streaming.fit_stream` — the online counterpart:
+  warm-start training over an arrival stream with snapshot rotation,
+  returning a :class:`~repro.api.result.StreamResult`.
 * :class:`~repro.api.result.FitResult` / :class:`~repro.api.result.FitTiming`
   — the single normalized result every engine returns.
 * :data:`~repro.api.registry.ALGORITHMS` / :data:`~repro.api.registry.ENGINES`
   — the registries, extensible via :func:`register_algorithm` /
-  :func:`register_engine`.
+  :func:`register_engine`; streaming support is a capability flag on
+  both sides (``AlgorithmSpec.stream_engines``,
+  ``EngineSpec.stream_runner``).
 
 The pre-facade classes (:class:`~repro.core.nomad.NomadSimulation`, the
 baselines, :class:`~repro.runtime.threaded.ThreadedNomad`,
@@ -22,20 +27,27 @@ from .registry import (
     AlgorithmSpec,
     EngineSpec,
     FitRequest,
+    StreamRequest,
     check_pair,
+    check_stream_pair,
     register_algorithm,
     register_engine,
     resolve_algorithm,
     resolve_engine,
     supported_pairs,
+    supported_stream_pairs,
 )
-from .result import FitResult, FitTiming
+from .result import FitResult, FitTiming, StreamResult
+from .streaming import fit_stream
 
 __all__ = [
     "fit",
+    "fit_stream",
     "FitResult",
     "FitTiming",
     "FitRequest",
+    "StreamRequest",
+    "StreamResult",
     "ALGORITHMS",
     "ENGINES",
     "AlgorithmSpec",
@@ -45,5 +57,7 @@ __all__ = [
     "resolve_algorithm",
     "resolve_engine",
     "check_pair",
+    "check_stream_pair",
     "supported_pairs",
+    "supported_stream_pairs",
 ]

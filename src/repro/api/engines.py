@@ -1,4 +1,4 @@
-"""The three stock execution engines behind :func:`repro.fit`.
+"""The stock execution engines behind :func:`repro.fit`.
 
 Each engine is one runner callable ``(FitRequest) -> FitResult`` plus a
 :func:`~repro.api.registry.register_engine` call:
@@ -12,6 +12,9 @@ Each engine is one runner callable ``(FitRequest) -> FitResult`` plus a
 * ``"cluster"`` — real worker processes exchanging serialized token
   envelopes over localhost TCP sockets, no shared memory (the paper's
   multi-machine communication path; fork-free, ``spawn``-started).
+* ``"dynamic"`` — the in-process warm-start NOMAD trainer behind
+  :func:`repro.fit_stream` (defined in :mod:`repro.api.streaming`, also
+  usable for static fits; the only engine carrying a ``stream_runner``).
 
 The live engines run NOMAD only (the paper's baselines are simulated
 algorithms); their traces record the endpoints — the seed-determined
@@ -41,14 +44,18 @@ from ..simulator.network import HPC_PROFILE
 from ..simulator.trace import Trace
 from .registry import (
     CLUSTER,
+    DYNAMIC,
     MULTIPROCESS,
     SIMULATED,
     THREADED,
     EngineSpec,
     FitRequest,
     register_engine,
+    reject_extra_kwargs,
+    resolve_workers,
 )
 from .result import FitResult, FitTiming
+from .streaming import run_dynamic, run_dynamic_stream
 
 __all__ = [
     "run_simulated",
@@ -57,17 +64,10 @@ __all__ = [
     "run_cluster",
 ]
 
-#: Worker count used when neither ``n_workers`` nor a cluster is given.
-_DEFAULT_WORKERS = 2
-
-
 def _resolve_workers(request: FitRequest) -> int:
-    """Worker count for the live engines: explicit, else cluster, else 2."""
-    if request.n_workers is not None:
-        return request.n_workers
-    if request.cluster is not None:
-        return request.cluster.n_workers
-    return _DEFAULT_WORKERS
+    """Worker count for the live engines: explicit, else cluster, else
+    the registry-wide default."""
+    return resolve_workers(request.n_workers, request.cluster)
 
 
 def run_simulated(request: FitRequest) -> FitResult:
@@ -80,7 +80,7 @@ def run_simulated(request: FitRequest) -> FitResult:
     run = request.run if request.run is not None else RunConfig()
     cluster = request.cluster
     if cluster is None:
-        cluster = Cluster(1, _resolve_workers(request), HPC_PROFILE)
+        cluster = Cluster(1, resolve_workers(request.n_workers), HPC_PROFILE)
     kwargs = dict(request.extra)
     if request.options is not None:
         if not algorithm.accepts_nomad_options:
@@ -128,18 +128,7 @@ def _reject_simulated_only(
             f"only, not {engine!r} (the live runtimes implement the basic "
             "Algorithm 1 routing)"
         )
-    if request.factors is not None:
-        raise ConfigError(
-            f"externally initialized factors are not supported by the "
-            f"{engine!r} engine (the live runtimes initialize from "
-            "run.seed); use engine='simulated'"
-        )
-    unsupported = set(request.extra) - allowed
-    if unsupported:
-        raise ConfigError(
-            f"unsupported keyword(s) for engine {engine!r}: "
-            f"{sorted(unsupported)}"
-        )
+    reject_extra_kwargs(engine, request.extra, allowed)
 
 
 def _live_result(
@@ -148,14 +137,18 @@ def _live_result(
     """Fold a :class:`RuntimeResult` into the uniform :class:`FitResult`.
 
     The trace records the run's endpoints on a real-seconds axis: the
-    RMSE of the seed-determined initialization (recomputed here from the
-    runtime's resolved seed — cheap, and identical to what the runtime
-    started from) and the final model.
+    RMSE of the starting factors — the supplied warm start, or the
+    seed-determined initialization (recomputed here from the runtime's
+    resolved seed — cheap, and identical to what the runtime started
+    from) — and the final model.
     """
     train, hyper = request.train, request.hyper
-    initial = init_factors(
-        train.n_rows, train.n_cols, hyper.k, RngFactory(seed).stream("init")
-    )
+    if request.factors is not None:
+        initial = request.factors
+    else:
+        initial = init_factors(
+            train.n_rows, train.n_cols, hyper.k, RngFactory(seed).stream("init")
+        )
     trace = Trace(
         algorithm=request.algorithm.name,
         n_workers=n_workers,
@@ -193,7 +186,7 @@ def run_threaded(request: FitRequest) -> FitResult:
     n_workers = _resolve_workers(request)
     runner = ThreadedNomad(
         request.train, request.test, n_workers, request.hyper,
-        run=request.run,
+        run=request.run, init_factors=request.factors,
     )
     return _live_result(request, n_workers, runner.seed, runner.run())
 
@@ -208,7 +201,7 @@ def run_multiprocess(request: FitRequest) -> FitResult:
     n_workers = _resolve_workers(request)
     runner = MultiprocessNomad(
         request.train, request.test, n_workers, request.hyper,
-        run=request.run,
+        run=request.run, init_factors=request.factors,
     )
     return _live_result(request, n_workers, runner.seed, runner.run())
 
@@ -231,7 +224,7 @@ def run_cluster(request: FitRequest) -> FitResult:
     n_workers = _resolve_workers(request)
     runner = ClusterNomad(
         request.train, request.test, n_workers, request.hyper,
-        run=request.run, **request.extra,
+        run=request.run, init_factors=request.factors, **request.extra,
     )
     return _live_result(request, n_workers, runner.seed, runner.run())
 
@@ -265,5 +258,16 @@ register_engine(
             "worker processes over localhost TCP sockets, message "
             "passing only (NOMAD; fork-free)"
         ),
+    )
+)
+register_engine(
+    EngineSpec(
+        name=DYNAMIC,
+        runner=run_dynamic,
+        description=(
+            "in-process warm-start NOMAD over a growable problem "
+            "(the streaming substrate behind repro.fit_stream)"
+        ),
+        stream_runner=run_dynamic_stream,
     )
 )

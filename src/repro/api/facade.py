@@ -20,7 +20,7 @@ from ..config import HyperParams, RunConfig
 from ..core.nomad import NomadOptions
 from ..datasets.ratings import RatingMatrix
 from ..errors import ConfigError
-from ..linalg.factors import FactorPair
+from ..linalg.factors import FactorPair, validate_init_factors
 from ..simulator.cluster import Cluster
 from . import engines as _engines  # noqa: F401  (registers the stock engines)
 from .registry import FitRequest, check_pair, resolve_algorithm, resolve_engine
@@ -40,6 +40,7 @@ def fit(
     cluster: Cluster | None = None,
     n_workers: int | None = None,
     options: NomadOptions | None = None,
+    init_factors: FactorPair | None = None,
     factors: FactorPair | None = None,
     **algorithm_kwargs,
 ) -> FitResult:
@@ -59,8 +60,10 @@ def fit(
         ``"graphlab-als"``, ``"hogwild"``, ``"serialsgd"``.
     engine:
         Execution substrate: ``"simulated"`` (every algorithm);
-        ``"threaded"``, ``"multiprocess"``, or ``"cluster"`` (NOMAD —
-        the latter over localhost sockets with no shared memory).
+        ``"threaded"``, ``"multiprocess"``, ``"cluster"`` (NOMAD — the
+        latter over localhost sockets with no shared memory), or
+        ``"dynamic"`` (the in-process warm-start trainer behind
+        :func:`repro.fit_stream`, also usable for static fits).
         Unsupported pairs raise :class:`~repro.errors.ConfigError`
         naming every valid combination.
     hyper:
@@ -83,9 +86,16 @@ def fit(
     options:
         :class:`~repro.core.nomad.NomadOptions` behavioural switches
         (NOMAD on the simulated engine only).
+    init_factors:
+        Warm-start factors, honored by **every** engine: training begins
+        from this (validated) pair instead of the seed-determined
+        initialization — resume a previous run's ``result.factors``, or
+        give all algorithms one shared start (the §5.1 protocol).  Must
+        cover exactly ``(train.n_rows, train.n_cols)`` at ``hyper.k``;
+        the caller's arrays are never mutated.
     factors:
-        Externally initialized factors (simulated engine only; the §5.1
-        shared-initialization protocol).
+        Backward-compatible alias of ``init_factors`` (the historical
+        simulated-engine keyword); passing both raises.
     algorithm_kwargs:
         Extra constructor keywords of the chosen simulation class, e.g.
         ``refresh_period=16`` for Hogwild or ``inner_iters=2`` for CCD++.
@@ -109,6 +119,17 @@ def fit(
         )
     if n_workers is not None and n_workers < 1:
         raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
+    if init_factors is not None and factors is not None:
+        raise ConfigError(
+            "pass either init_factors or its legacy alias factors, not both"
+        )
+    if init_factors is None:
+        init_factors = factors
+    if init_factors is not None:
+        effective_hyper = hyper if hyper is not None else HyperParams()
+        validate_init_factors(
+            init_factors, train.n_rows, train.n_cols, effective_hyper.k
+        )
 
     algorithm_spec = resolve_algorithm(algorithm)
     engine_spec = resolve_engine(engine)
@@ -124,7 +145,7 @@ def fit(
         cluster=cluster,
         n_workers=n_workers,
         options=options,
-        factors=factors,
+        factors=init_factors,
         extra=algorithm_kwargs,
     )
     return engine_spec.runner(request)

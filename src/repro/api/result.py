@@ -18,8 +18,10 @@ from dataclasses import dataclass, field
 from ..linalg.factors import FactorPair
 from ..model import CompletionModel
 from ..simulator.trace import Trace
+from ..stream.serve import Recommender
+from ..stream.snapshots import PrequentialTrace, SnapshotStore
 
-__all__ = ["FitTiming", "FitResult"]
+__all__ = ["FitTiming", "FitResult", "StreamResult"]
 
 
 @dataclass(frozen=True)
@@ -132,4 +134,72 @@ class FitResult:
         return (
             f"{self.algorithm} on {self.engine}: {timing.updates:,} updates "
             f"in {clock}, final test RMSE {self.final_rmse():.4f}"
+        )
+
+
+@dataclass
+class StreamResult:
+    """Everything one :func:`repro.fit_stream` call produced.
+
+    Attributes
+    ----------
+    algorithm, engine:
+        The streaming (algorithm, engine) pair that ran.
+    snapshots:
+        The rotated :class:`~repro.stream.snapshots.SnapshotStore`;
+        ``snapshots.latest.model`` is the serving model at end of stream.
+    prequential:
+        Test-then-train error trace: every arrival scored against the
+        then-current snapshot *before* training on it.
+    final:
+        A normalized :class:`FitResult` for the end-of-stream model —
+        same shape as a static fit, so downstream tooling is shared.
+        Its trace has one record per snapshot rotation on the stream
+        time axis.
+    arrivals:
+        Ratings ingested from the stream.
+    new_users, new_items:
+        Entities first seen mid-stream (the §4 fold-in path count).
+    ingest_seconds, train_seconds, rotation_seconds:
+        Real-time split of the run: the per-arrival hot path
+        (prequential scoring + fold-in), warm-start sweeps, and
+        snapshot rotation respectively.
+    """
+
+    algorithm: str
+    engine: str
+    snapshots: SnapshotStore
+    prequential: PrequentialTrace
+    final: FitResult
+    arrivals: int
+    new_users: int
+    new_items: int
+    ingest_seconds: float
+    train_seconds: float
+    rotation_seconds: float
+
+    @property
+    def arrivals_per_second(self) -> float:
+        """End-to-end ingestion throughput (ingest + train + rotate)."""
+        busy = self.ingest_seconds + self.train_seconds + self.rotation_seconds
+        if busy <= 0 or self.arrivals == 0:
+            return 0.0
+        return self.arrivals / busy
+
+    def recommender(self, **kwargs) -> Recommender:
+        """A serving :class:`~repro.stream.serve.Recommender` over the
+        rotated snapshots (keywords pass through, e.g. ``cold_start=``)."""
+        return Recommender(self.snapshots, **kwargs)
+
+    def summary(self) -> str:
+        """One-line human summary (used by the CLI ``stream`` subcommand)."""
+        prequential = (
+            f"{self.prequential.rmse():.4f}" if len(self.prequential) else "n/a"
+        )
+        return (
+            f"{self.algorithm} streaming on {self.engine}: {self.arrivals:,} "
+            f"arrivals ({self.new_users} new users, {self.new_items} new "
+            f"items), {self.snapshots.rotations} snapshot rotations, "
+            f"prequential RMSE {prequential}, "
+            f"{self.arrivals_per_second:,.0f} arrivals/s"
         )

@@ -20,7 +20,7 @@ from ..config import HyperParams, RunConfig
 from ..datasets.ratings import RatingMatrix
 from ..errors import ConfigError, SimulationError
 from ..linalg.backends import resolve_backend
-from ..linalg.factors import FactorPair, init_factors
+from ..linalg.factors import FactorPair, init_factors, validate_init_factors
 from ..linalg.objective import test_rmse
 from ..rng import RngFactory
 from ..simulator.cluster import Cluster
@@ -72,10 +72,7 @@ class ClockedOptimizer(abc.ABC):
             factors = init_factors(
                 train.n_rows, train.n_cols, hyper.k, self.rng_factory.stream("init")
             )
-        if factors.n_rows != train.n_rows or factors.n_cols != train.n_cols:
-            raise ConfigError("factor shapes do not match the rating matrix")
-        if factors.k != hyper.k:
-            raise ConfigError(f"factor dimension {factors.k} != hyper.k {hyper.k}")
+        validate_init_factors(factors, train.n_rows, train.n_cols, hyper.k)
         self._backend = resolve_backend(run.kernel_backend, k=hyper.k)
         if self.factor_storage == "ndarray":
             self._w_store = factors.w.copy()

@@ -9,11 +9,16 @@ Usage::
     repro-nomad fit --engine threaded --workers 4 --duration 1.0
     repro-nomad fit --engine cluster --workers 4 --duration 1.0
     repro-nomad fit --list
+    repro-nomad stream --source replay --dataset netflix
+    repro-nomad stream --source drift --arrivals 2000
 
 ``run`` prints the ASCII report to stdout and optionally writes every
 series/table as CSV under ``--outdir``.  ``fit`` trains one model through
 the :func:`repro.fit` facade, prints its convergence trace and timing
-block, and optionally saves the trained model as ``.npz``.
+block, and optionally saves the trained model as ``.npz``.  ``stream``
+replays an arrival stream through :func:`repro.fit_stream` — online
+ingestion, warm-start dynamic NOMAD, snapshot rotation — and prints the
+prequential RMSE trace and ingestion throughput.
 """
 
 from __future__ import annotations
@@ -22,12 +27,13 @@ import argparse
 import sys
 from typing import Sequence
 
-from .api import ALGORITHMS, ENGINES, fit, supported_pairs
+from .api import ALGORITHMS, ENGINES, fit, fit_stream, supported_pairs
 from .config import RunConfig
 from .errors import ConfigError, ReproError
 from .experiments.figures import EXPERIMENT_REGISTRY, run_experiment
 from .experiments.harness import build_dataset, make_cluster
 from .experiments.report import render_result, result_to_csv_dir
+from .stream import DriftStream, ReplayStream
 
 __all__ = ["main", "build_parser"]
 
@@ -146,6 +152,93 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="save the trained model as compressed npz",
     )
+
+    stream_cmd = commands.add_parser(
+        "stream",
+        help="train online over an arrival stream via repro.fit_stream",
+        description=(
+            "Replay an arrival stream through the streaming subsystem: "
+            "prequential scoring, warm-start dynamic NOMAD ingestion, "
+            "and snapshot rotation.  'replay' streams a registry dataset "
+            "surrogate (warm-up prefix + shuffled tail, with user/item "
+            "holdouts exercising the fold-in path); 'drift' generates a "
+            "synthetic stream whose ground truth drifts."
+        ),
+    )
+    stream_cmd.add_argument(
+        "--source",
+        default="replay",
+        choices=("replay", "drift"),
+        help="arrival source (default: replay)",
+    )
+    stream_cmd.add_argument(
+        "--dataset",
+        default="netflix",
+        help="dataset surrogate profile for --source replay (default: netflix)",
+    )
+    stream_cmd.add_argument(
+        "--warmup-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of ratings in the warm-up prefix (replay; default 0.5)",
+    )
+    stream_cmd.add_argument(
+        "--holdout-rows",
+        type=int,
+        default=8,
+        help="users whose every rating streams in (replay; default 8)",
+    )
+    stream_cmd.add_argument(
+        "--holdout-cols",
+        type=int,
+        default=4,
+        help="items whose every rating streams in (replay; default 4)",
+    )
+    stream_cmd.add_argument(
+        "--arrivals",
+        type=int,
+        default=2000,
+        help="events to generate for --source drift (default 2000)",
+    )
+    stream_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="dynamic NOMAD worker count (default 2)",
+    )
+    stream_cmd.add_argument(
+        "--warmup-epochs",
+        type=int,
+        default=5,
+        help="sweeps over the warm-up matrix before streaming (default 5)",
+    )
+    stream_cmd.add_argument(
+        "--train-every",
+        type=int,
+        default=50,
+        help="run a training pass every N arrivals (default 50)",
+    )
+    stream_cmd.add_argument(
+        "--epochs-per-train",
+        type=int,
+        default=1,
+        help="sweeps per training pass (default 1)",
+    )
+    stream_cmd.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=500,
+        help="rotate a serving snapshot every N arrivals (default 500)",
+    )
+    stream_cmd.add_argument(
+        "--seed", type=int, default=0, help="root random seed (default: 0)"
+    )
+    stream_cmd.add_argument(
+        "--save",
+        default=None,
+        metavar="PATH",
+        help="save the final serving snapshot as compressed npz",
+    )
     return parser
 
 
@@ -217,6 +310,67 @@ def _run_fit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_stream(args: argparse.Namespace) -> int:
+    """Drive one facade stream run from parsed CLI arguments."""
+    if args.source == "replay":
+        profile, train, test = build_dataset(args.dataset, seed=args.seed)
+        stream = ReplayStream(
+            train,
+            warmup_fraction=args.warmup_fraction,
+            holdout_rows=args.holdout_rows,
+            holdout_cols=args.holdout_cols,
+            seed=args.seed,
+        )
+        hyper = profile.hyper
+        print(
+            f"replaying {args.dataset} surrogate: {stream.warmup.nnz} "
+            f"warm-up ratings, {stream.n_events} arrivals "
+            f"(holdouts: {args.holdout_rows} users, {args.holdout_cols} items)"
+        )
+    else:
+        stream = DriftStream(n_events=args.arrivals, seed=args.seed)
+        hyper, test = None, None
+        print(
+            f"drift stream: {stream.warmup.nnz} warm-up ratings, "
+            f"{stream.n_events} arrivals"
+        )
+
+    result = fit_stream(
+        stream,
+        test,
+        hyper=hyper,
+        run=RunConfig(seed=args.seed),
+        n_workers=args.workers,
+        warmup_epochs=args.warmup_epochs,
+        train_every=args.train_every,
+        epochs_per_train=args.epochs_per_train,
+        snapshot_every=args.snapshot_every,
+    )
+
+    print(f"\n{'stream (s)':>10} {'updates':>12} {'RMSE':>10}   (per rotation)")
+    for record in result.final.trace.records:
+        print(f"{record.time:>10.3f} {record.updates:>12,} {record.rmse:>10.4f}")
+    print(f"\n{result.summary()}")
+    if len(result.prequential):
+        window = min(200, len(result.prequential))
+        print(
+            f"prequential RMSE: {result.prequential.rmse():.4f} overall, "
+            f"{result.prequential.windowed_rmse(window):.4f} over the last "
+            f"{window} scored arrivals ({result.prequential.cold} cold)"
+        )
+    print(
+        f"time split: {result.ingest_seconds:.3f}s ingest, "
+        f"{result.train_seconds:.3f}s train, "
+        f"{result.rotation_seconds:.4f}s rotation "
+        f"({result.snapshots.rotations} rotations)"
+    )
+
+    if args.save:
+        result.snapshots.latest.model.save(args.save)
+        print(f"serving snapshot saved to {args.save}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -233,6 +387,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "fit":
             try:
                 return _run_fit(args)
+            except ReproError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+
+        if args.command == "stream":
+            try:
+                return _run_stream(args)
             except ReproError as error:
                 print(f"error: {error}", file=sys.stderr)
                 return 2

@@ -38,7 +38,7 @@ from ..config import HyperParams, RunConfig
 from ..datasets.ratings import RatingMatrix
 from ..errors import ClusterError, ConfigError
 from ..linalg.backends import resolve_backend
-from ..linalg.factors import FactorPair, init_factors
+from ..linalg.factors import FactorPair, init_factors, validate_init_factors
 from ..linalg.objective import test_rmse
 from ..partition.partitioners import partition_worker_triplets
 from ..rng import RngFactory
@@ -111,6 +111,12 @@ class ClusterNomad:
         threads and copied-buffer queues (tests; GIL-bound).
     batch_size:
         Tokens per §3.5 envelope (>= 1).
+    init_factors:
+        Optional warm-start factors (validated against the train shape
+        and ``hyper.k``): worker ``W`` blocks and the scattered ``h_j``
+        token payloads are seeded from them instead of the
+        seed-determined initialization.  The caller's arrays are only
+        read.
     """
 
     def __init__(
@@ -124,6 +130,7 @@ class ClusterNomad:
         run: RunConfig | None = None,
         transport: str = "tcp",
         batch_size: int = DEFAULT_BATCH_SIZE,
+        init_factors: FactorPair | None = None,
     ):
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
@@ -149,6 +156,11 @@ class ClusterNomad:
         self.backend = resolve_backend(
             kernel_backend, k=hyper.k, storage="ndarray"
         )
+        if init_factors is not None:
+            validate_init_factors(
+                init_factors, train.n_rows, train.n_cols, hyper.k
+            )
+        self._init_factors = init_factors
 
     # ------------------------------------------------------------------
     # Setup
@@ -330,10 +342,13 @@ class ClusterNomad:
         """
         duration_seconds = resolve_duration(duration_seconds, self.run_config)
         factory = RngFactory(self.seed)
-        init = init_factors(
-            self.train.n_rows, self.train.n_cols, self.hyper.k,
-            factory.stream("init"),
-        )
+        if self._init_factors is not None:
+            init = self._init_factors
+        else:
+            init = init_factors(
+                self.train.n_rows, self.train.n_cols, self.hyper.k,
+                factory.stream("init"),
+            )
         specs = self._worker_specs(init)
         if self.transport == "tcp":
             return self._run_tcp(duration_seconds, init, specs, factory)

@@ -39,7 +39,7 @@ import numpy as np
 from ..config import HyperParams, RunConfig
 from ..datasets.ratings import RatingMatrix
 from ..errors import ConfigError, SimulationError
-from ..linalg.factors import FactorPair, init_factors
+from ..linalg.factors import FactorPair, init_factors, validate_init_factors
 from ..linalg.backends import resolve_backend
 from ..linalg.losses import Loss, SquaredLoss
 from ..linalg.objective import test_rmse
@@ -173,12 +173,7 @@ class NomadSimulation:
             factors = init_factors(
                 train.n_rows, train.n_cols, hyper.k, self._rng_factory.stream("init")
             )
-        if factors.n_rows != train.n_rows or factors.n_cols != train.n_cols:
-            raise ConfigError("factor shapes do not match the rating matrix")
-        if factors.k != hyper.k:
-            raise ConfigError(
-                f"factor dimension {factors.k} != hyper.k {hyper.k}"
-            )
+        validate_init_factors(factors, train.n_rows, train.n_cols, hyper.k)
         # Factors live in the backend's preferred storage and are mutated
         # in place by its kernels (lists for "list", ndarrays for "numpy").
         self._backend = resolve_backend(run.kernel_backend, k=hyper.k)

@@ -250,6 +250,65 @@ class RatingMatrix:
         out[self._rows, self._cols] = self._vals
         return out
 
+    def with_appended(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        n_rows: int | None = None,
+        n_cols: int | None = None,
+    ) -> "RatingMatrix":
+        """Return a new matrix with extra ratings appended (delta composition).
+
+        The streaming subsystem's append-only delta stores compose back
+        into plain matrices through this method: the result holds the
+        union of the existing triplets and the arrivals, with the shape
+        grown to cover any brand-new row/column index.  Duplicates —
+        within the arrivals or against existing ratings — are rejected
+        exactly as the constructor rejects them.
+
+        Parameters
+        ----------
+        rows, cols, vals:
+            Parallel COO arrays of the arriving ratings (may be empty).
+        n_rows, n_cols:
+            Optional explicit result shape; each must cover both the
+            current shape and every appended index.  ``None`` (default)
+            grows each dimension just enough to fit the arrivals.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.float64)
+        if not (rows.shape == cols.shape == vals.shape) or rows.ndim != 1:
+            raise DataError("rows, cols, vals must be 1-D arrays of equal length")
+        if rows.size and rows.min() < 0:
+            raise DataError("row index out of range")
+        if cols.size and cols.min() < 0:
+            raise DataError("column index out of range")
+        need_rows = max(self._n_rows, int(rows.max()) + 1 if rows.size else 0)
+        need_cols = max(self._n_cols, int(cols.max()) + 1 if cols.size else 0)
+        if n_rows is None:
+            n_rows = need_rows
+        elif n_rows < need_rows:
+            raise DataError(
+                f"n_rows={n_rows} cannot hold existing and appended rows "
+                f"(need >= {need_rows})"
+            )
+        if n_cols is None:
+            n_cols = need_cols
+        elif n_cols < need_cols:
+            raise DataError(
+                f"n_cols={n_cols} cannot hold existing and appended columns "
+                f"(need >= {need_cols})"
+            )
+        return RatingMatrix(
+            n_rows,
+            n_cols,
+            np.concatenate([self._rows, rows]),
+            np.concatenate([self._cols, cols]),
+            np.concatenate([self._vals, vals]),
+        )
+
     def select(self, mask: np.ndarray) -> "RatingMatrix":
         """Return a new matrix keeping only triplets where ``mask`` is True."""
         mask = np.asarray(mask, dtype=bool)

@@ -13,7 +13,11 @@ import numpy as np
 
 from ..errors import ConfigError
 
-__all__ = ["FactorPair", "init_factors"]
+__all__ = [
+    "FactorPair",
+    "init_factors",
+    "validate_init_factors",
+]
 
 
 class FactorPair:
@@ -85,3 +89,31 @@ def init_factors(
     w = rng.uniform(0.0, bound, size=(n_rows, k))
     h = rng.uniform(0.0, bound, size=(n_cols, k))
     return FactorPair(w, h)
+
+
+def validate_init_factors(
+    factors: FactorPair, n_rows: int, n_cols: int, k: int
+) -> FactorPair:
+    """Check externally supplied warm-start factors against a problem shape.
+
+    One validator shared by the :func:`repro.fit` facade and every engine
+    constructor, so a mismatched warm start always fails with the same
+    message: the factor pair must cover exactly ``(n_rows, n_cols)`` with
+    latent dimension ``k``.
+    """
+    if not isinstance(factors, FactorPair):
+        raise ConfigError(
+            f"init factors must be a FactorPair, got {type(factors).__name__}"
+        )
+    if factors.n_rows != n_rows or factors.n_cols != n_cols:
+        raise ConfigError(
+            f"init factors cover {factors.n_rows} users x "
+            f"{factors.n_cols} items, but the training matrix is "
+            f"{n_rows} x {n_cols}"
+        )
+    if factors.k != k:
+        raise ConfigError(
+            f"init factors have latent dimension {factors.k}, but hyper.k "
+            f"is {k}"
+        )
+    return factors

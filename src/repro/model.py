@@ -19,11 +19,49 @@ from .errors import ConfigError, DataError
 from .linalg.factors import FactorPair
 from .linalg.objective import predict, test_rmse
 
-__all__ = ["CompletionModel"]
+__all__ = ["CompletionModel", "FORMAT_VERSION", "top_items"]
 
 PathLike = Union[str, os.PathLike]
 
 _NPZ_KEYS = ("w", "h")
+
+
+def top_items(
+    scores: np.ndarray,
+    top_n: int,
+    exclude: np.ndarray | None = None,
+) -> list[tuple[int, float]]:
+    """Rank an item-score vector: the one top-N policy of the library.
+
+    Shared by :meth:`CompletionModel.recommend` and the serving layer's
+    cold-start path so the edge-case semantics can never drift apart:
+    ``top_n`` clamps to the catalog size, excluded items never appear,
+    and masking everything yields ``[]``.  ``scores`` is not mutated.
+    """
+    n_items = scores.shape[0]
+    if exclude is not None:
+        exclude = np.asarray(exclude, dtype=np.int64)
+        if exclude.size and (exclude.min() < 0 or exclude.max() >= n_items):
+            raise ConfigError("exclude contains an out-of-range item")
+        scores = scores.copy()
+        scores[exclude] = -np.inf
+    top_n = min(top_n, n_items)
+    best = np.argpartition(scores, -top_n)[-top_n:]
+    best = best[np.argsort(scores[best])[::-1]]
+    return [
+        (int(item), float(scores[item]))
+        for item in best
+        if np.isfinite(scores[item])
+    ]
+
+#: Current on-disk model format.  History:
+#:   1 — (implicit; no marker) bare ``w``/``h`` arrays.
+#:   2 — adds the ``format_version`` marker itself.
+#: Files without a marker load as version 1; an unknown version raises
+#: :class:`~repro.errors.DataError` naming what was found.
+FORMAT_VERSION = 2
+
+_READABLE_VERSIONS = (1, 2)
 
 
 class CompletionModel:
@@ -104,29 +142,24 @@ class CompletionModel:
         user:
             User index.
         top_n:
-            Number of recommendations (>= 1).
+            Number of recommendations (>= 1).  Values beyond ``n_items``
+            are clamped: the result can never exceed the catalog.
         exclude:
             Item indices to mask out — typically the user's already-rated
             items (pass ``train.items_of_user(user)[0]``).
+
+        Returns
+        -------
+        list of ``(item, score)`` pairs, best first.  Excluded items are
+        never returned, so the list holds ``min(top_n, n_items -
+        len(exclude))`` entries; excluding *every* item yields ``[]``
+        (an empty list, not an error — "nothing left to recommend" is a
+        valid answer, and callers wanting to treat it as exceptional can
+        test the length).
         """
         if top_n < 1:
             raise ConfigError(f"top_n must be >= 1, got {top_n}")
-        scores = self.score_items(user).copy()
-        if exclude is not None:
-            exclude = np.asarray(exclude, dtype=np.int64)
-            if exclude.size and (
-                exclude.min() < 0 or exclude.max() >= self.n_items
-            ):
-                raise ConfigError("exclude contains an out-of-range item")
-            scores[exclude] = -np.inf
-        top_n = min(top_n, self.n_items)
-        best = np.argpartition(scores, -top_n)[-top_n:]
-        best = best[np.argsort(scores[best])[::-1]]
-        return [
-            (int(item), float(scores[item]))
-            for item in best
-            if np.isfinite(scores[item])
-        ]
+        return top_items(self.score_items(user), top_n, exclude)
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -144,13 +177,38 @@ class CompletionModel:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: PathLike) -> None:
-        """Write the factors to ``path`` in compressed npz form."""
-        np.savez_compressed(path, w=self.factors.w, h=self.factors.h)
+        """Write the factors to ``path`` in compressed npz form.
+
+        The file carries a ``format_version`` key (currently
+        :data:`FORMAT_VERSION`) so future layout changes can be detected
+        on load instead of failing obscurely downstream.
+        """
+        np.savez_compressed(
+            path,
+            w=self.factors.w,
+            h=self.factors.h,
+            format_version=np.int64(FORMAT_VERSION),
+        )
 
     @classmethod
     def load(cls, path: PathLike) -> "CompletionModel":
-        """Load a model previously written by :meth:`save`."""
+        """Load a model previously written by :meth:`save`.
+
+        Legacy files (written before versioning existed, carrying no
+        ``format_version`` key) are accepted as version 1.  A file whose
+        version this build cannot read raises
+        :class:`~repro.errors.DataError` naming the found version.
+        """
         with np.load(path) as payload:
+            if "format_version" in payload:
+                version = int(payload["format_version"])
+            else:
+                version = 1
+            if version not in _READABLE_VERSIONS:
+                raise DataError(
+                    f"{path}: unsupported model format_version {version}; "
+                    f"this build reads versions {list(_READABLE_VERSIONS)}"
+                )
             missing = [key for key in _NPZ_KEYS if key not in payload]
             if missing:
                 raise DataError(f"{path}: missing npz keys {missing}")

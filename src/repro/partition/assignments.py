@@ -47,6 +47,24 @@ class OwnershipLedger:
         """Total number of completed ownership transfers so far."""
         return self._transfers
 
+    def grow(self, n_items: int) -> None:
+        """Extend the ledger to track more items (streaming fold-in).
+
+        New items start in flight, matching the constructor's convention:
+        a freshly minted token does not belong to any worker until its
+        first :meth:`acquire`.  Shrinking is rejected — tokens are never
+        destroyed.
+        """
+        if n_items < self.n_items:
+            raise SimulationError(
+                f"ledger cannot shrink from {self.n_items} to {n_items} items"
+            )
+        if n_items == self.n_items:
+            return
+        grown = np.full(n_items, _IN_FLIGHT, dtype=np.int64)
+        grown[: self._owner.size] = self._owner
+        self._owner = grown
+
     def owner_of(self, item: int) -> int | None:
         """Current owner of ``item``, or None while the token is in flight."""
         owner = int(self._owner[item])

@@ -48,7 +48,7 @@ from ..config import HyperParams, RunConfig
 from ..datasets.ratings import RatingMatrix, Shard
 from ..errors import ConfigError
 from ..linalg.backends import get_backend, resolve_backend
-from ..linalg.factors import FactorPair, init_factors
+from ..linalg.factors import FactorPair, init_factors, validate_init_factors
 from ..linalg.objective import test_rmse
 from ..partition.partitioners import partition_worker_triplets
 from ..rng import RngFactory, derive_pyrandom
@@ -199,6 +199,11 @@ class MultiprocessNomad:
         defaults above.  ``eval_interval`` is unused here and
         ``max_updates`` is rejected eagerly (workers cannot be halted at
         an exact global update count).
+    init_factors:
+        Optional warm-start factors (validated against the train shape
+        and ``hyper.k``); the shared-memory blocks are seeded from them
+        instead of the seed-determined initialization.  The caller's
+        arrays are only read.
     """
 
     def __init__(
@@ -210,6 +215,7 @@ class MultiprocessNomad:
         seed: int | None = None,
         kernel_backend: str | None = None,
         run: RunConfig | None = None,
+        init_factors: FactorPair | None = None,
     ):
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
@@ -226,6 +232,11 @@ class MultiprocessNomad:
         self.backend = resolve_backend(
             kernel_backend, k=hyper.k, storage="ndarray"
         )
+        if init_factors is not None:
+            validate_init_factors(
+                init_factors, train.n_rows, train.n_cols, hyper.k
+            )
+        self._init_factors = init_factors
 
     def run(self, duration_seconds: float | None = None) -> MultiprocessResult:
         """Run the worker pool for ``duration_seconds`` of wall time.
@@ -235,10 +246,13 @@ class MultiprocessNomad:
         """
         duration_seconds = resolve_duration(duration_seconds, self.run_config)
         factory = RngFactory(self.seed)
-        init = init_factors(
-            self.train.n_rows, self.train.n_cols, self.hyper.k,
-            factory.stream("init"),
-        )
+        if self._init_factors is not None:
+            init = self._init_factors
+        else:
+            init = init_factors(
+                self.train.n_rows, self.train.n_cols, self.hyper.k,
+                factory.stream("init"),
+            )
         _, shard_triplets = partition_worker_triplets(
             self.train, self.n_workers
         )

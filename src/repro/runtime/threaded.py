@@ -31,7 +31,7 @@ from ..config import HyperParams, RunConfig
 from ..datasets.ratings import RatingMatrix
 from ..errors import ConfigError
 from ..linalg.backends import resolve_backend
-from ..linalg.factors import init_factors
+from ..linalg.factors import FactorPair, init_factors, validate_init_factors
 from ..linalg.objective import test_rmse
 from ..partition.partitioners import partition_rows_equal_ratings
 from ..rng import RngFactory
@@ -80,6 +80,10 @@ class ThreadedNomad:
         eagerly: real threads cannot halt mid-flight at an exact global
         update count, and pretending otherwise would corrupt
         updates-versus-RMSE comparisons.
+    init_factors:
+        Optional warm-start factors (validated against the train shape
+        and ``hyper.k``); training starts from a private copy instead of
+        the seed-determined initialization.
     """
 
     def __init__(
@@ -91,6 +95,7 @@ class ThreadedNomad:
         seed: int | None = None,
         kernel_backend: str | None = None,
         run: RunConfig | None = None,
+        init_factors: FactorPair | None = None,
     ):
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
@@ -107,6 +112,11 @@ class ThreadedNomad:
         self.backend = resolve_backend(
             kernel_backend, k=hyper.k, storage="ndarray"
         )
+        if init_factors is not None:
+            validate_init_factors(
+                init_factors, train.n_rows, train.n_cols, hyper.k
+            )
+        self._init_factors = init_factors
 
     def run(self, duration_seconds: float | None = None) -> ThreadedResult:
         """Run the worker pool for ``duration_seconds`` of wall time.
@@ -116,10 +126,14 @@ class ThreadedNomad:
         """
         duration_seconds = resolve_duration(duration_seconds, self.run_config)
         factory = RngFactory(self.seed)
-        factors = init_factors(
-            self.train.n_rows, self.train.n_cols, self.hyper.k,
-            factory.stream("init"),
-        )
+        if self._init_factors is not None:
+            # A private copy: the worker threads mutate these arrays.
+            factors = self._init_factors.snapshot()
+        else:
+            factors = init_factors(
+                self.train.n_rows, self.train.n_cols, self.hyper.k,
+                factory.stream("init"),
+            )
         partition = partition_rows_equal_ratings(self.train, self.n_workers)
         shards = self.train.shard_by_rows(partition)
         counts = [np.zeros(shard.nnz, dtype=np.int64) for shard in shards]

@@ -1,0 +1,50 @@
+"""Streaming subsystem: online rating ingestion, dynamic NOMAD, serving.
+
+§4 of the paper singles out the streaming setting as the regime NOMAD's
+asynchronous, decentralized design is built for: "new ratings arrive in a
+streaming fashion" and the algorithm folds them in *without a restart*.
+This package makes that claim executable:
+
+* :mod:`~repro.stream.sources` — arrival streams: a timestamped replay
+  source over any :class:`~repro.datasets.ratings.RatingMatrix` and a
+  synthetic drift generator, both emitting events for brand-new users
+  and items.
+* :mod:`~repro.stream.dynamic` — :class:`DynamicNomad`, warm-start NOMAD
+  over a base matrix plus an append-only delta store: factor rows grow on
+  first sight of a new user/item (the §4 fold-in), and every arriving
+  rating is routed to the owning worker's column store — never a global
+  re-partition.
+* :mod:`~repro.stream.snapshots` — :class:`SnapshotStore`, rotating
+  immutable :class:`~repro.model.CompletionModel` snapshots on a cadence,
+  plus the prequential (test-then-train) RMSE trace of the stream.
+* :mod:`~repro.stream.serve` — :class:`Recommender`, a serving front that
+  answers ``predict``/``recommend`` from the newest snapshot with a
+  per-user top-N cache invalidated on rotation.
+
+The facade entry point is :func:`repro.fit_stream`, which drives all four
+parts and returns a :class:`~repro.api.result.StreamResult`.
+"""
+
+from .dynamic import DeltaStore, DynamicNomad
+from .snapshots import (
+    ModelSnapshot,
+    PrequentialRecord,
+    PrequentialTrace,
+    SnapshotStore,
+)
+from .serve import Recommender
+from .sources import DriftStream, RatingEvent, RatingStream, ReplayStream
+
+__all__ = [
+    "RatingEvent",
+    "RatingStream",
+    "ReplayStream",
+    "DriftStream",
+    "DeltaStore",
+    "DynamicNomad",
+    "ModelSnapshot",
+    "PrequentialRecord",
+    "PrequentialTrace",
+    "SnapshotStore",
+    "Recommender",
+]

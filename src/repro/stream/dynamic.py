@@ -1,0 +1,496 @@
+"""Warm-start dynamic NOMAD: train while the problem grows underneath.
+
+§4 of the paper: because NOMAD is asynchronous and decentralized, a new
+rating — even one from a never-seen user or item — is *folded in* rather
+than triggering a restart: the owning worker appends it to its local
+Ω̄^(q)_j store, a fresh factor row is initialized for a new entity, and
+the token circulation simply keeps running.  :class:`DynamicNomad` is
+that execution model made concrete:
+
+* the base matrix is partitioned by rows **once**; every later arrival is
+  routed to the owning worker's column store (a new user is assigned to
+  the least-loaded worker on first sight) — there is never a global
+  re-partition;
+* item tokens circulate between per-worker queues under the
+  :class:`~repro.partition.assignments.OwnershipLedger` invariant (each
+  ``h_j`` owned by exactly one worker at a time), with
+  :meth:`~repro.partition.assignments.OwnershipLedger.grow` minting
+  tokens for items first seen mid-stream;
+* one :meth:`sweep` routes every token through every worker exactly once
+  (the §3.4 circulation schedule on a single machine), so each observed
+  rating receives exactly one equation-(11) SGD update per sweep, through
+  the same kernel-backend layer every other engine uses.
+
+The execution is in-process and deterministic given the seed: rounds
+interleave tokens exactly as parallel workers would, and the
+owner-computes rule keeps every interleaving conflict-free (§4.1), so
+this sequential schedule is one of the serializable executions the real
+runtimes sample from.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..config import HyperParams, RunConfig
+from ..core.load_balance import RecipientPolicy, UniformPolicy
+from ..datasets.ratings import RatingMatrix
+from ..errors import ConfigError, DataError
+from ..linalg.backends import resolve_backend
+from ..linalg.factors import (
+    FactorPair,
+    init_factors as _draw_factors,
+    validate_init_factors,
+)
+from ..partition.assignments import OwnershipLedger
+from ..partition.partitioners import partition_rows_equal_ratings
+from ..rng import RngFactory
+from .sources import RatingEvent
+
+__all__ = ["DeltaStore", "DynamicNomad"]
+
+#: Initial row capacity headroom when a factor matrix first grows.
+_MIN_CAPACITY = 8
+
+
+class DeltaStore:
+    """Append-only store of ratings that arrived after the base matrix.
+
+    The stream never mutates the immutable base
+    :class:`~repro.datasets.ratings.RatingMatrix`; arrivals accumulate
+    here and :meth:`combined` composes them back into one matrix (via
+    :meth:`RatingMatrix.with_appended
+    <repro.datasets.ratings.RatingMatrix.with_appended>`) whenever a
+    whole-dataset view is needed — end-of-stream evaluation, a static
+    retrain baseline, or persistence.
+    """
+
+    def __init__(self, base: RatingMatrix):
+        self.base = base
+        self._rows: list[int] = []
+        self._cols: list[int] = []
+        self._vals: list[float] = []
+        self._seen: set[tuple[int, int]] = set()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def contains(self, user: int, item: int) -> bool:
+        """Whether ``(user, item)`` is already rated (base or delta)."""
+        if (user, item) in self._seen:
+            return True
+        if user < self.base.n_rows and item < self.base.n_cols:
+            items, _ = self.base.items_of_user(user)
+            pos = int(np.searchsorted(items, item))
+            return pos < items.size and items[pos] == item
+        return False
+
+    def append(self, user: int, item: int, value: float) -> None:
+        """Record one arrival; duplicates raise :class:`DataError`."""
+        if user < 0 or item < 0:
+            raise DataError(f"arrival index out of range: ({user}, {item})")
+        if not np.isfinite(value):
+            raise DataError(f"arrival rating must be finite, got {value}")
+        if self.contains(user, item):
+            raise DataError(
+                f"duplicate arrival for already-rated cell ({user}, {item})"
+            )
+        self.record(user, item, value)
+
+    def record(self, user: int, item: int, value: float) -> None:
+        """Append a *pre-validated* arrival (the trainer's hot path —
+        :meth:`DynamicNomad.ingest` has already run :meth:`append`'s
+        checks; external callers should use :meth:`append`)."""
+        self._rows.append(int(user))
+        self._cols.append(int(item))
+        self._vals.append(float(value))
+        self._seen.add((user, item))
+
+    def triplets(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The arrivals so far as COO arrays (cheap; no matrix build)."""
+        return (
+            np.asarray(self._rows, dtype=np.int64),
+            np.asarray(self._cols, dtype=np.int64),
+            np.asarray(self._vals, dtype=np.float64),
+        )
+
+    def combined(
+        self, n_rows: int | None = None, n_cols: int | None = None
+    ) -> RatingMatrix:
+        """Base plus every arrival as one :class:`RatingMatrix`."""
+        return self.base.with_appended(
+            np.asarray(self._rows, dtype=np.int64),
+            np.asarray(self._cols, dtype=np.int64),
+            np.asarray(self._vals, dtype=np.float64),
+            n_rows=n_rows,
+            n_cols=n_cols,
+        )
+
+    def __repr__(self) -> str:
+        return f"DeltaStore(base_nnz={self.base.nnz}, arrivals={len(self)})"
+
+
+def _grown(array: np.ndarray, n_rows: int) -> np.ndarray:
+    """Return ``array`` with capacity for ``n_rows`` rows (geometric)."""
+    if n_rows <= array.shape[0]:
+        return array
+    capacity = max(n_rows, 2 * array.shape[0], _MIN_CAPACITY)
+    out = np.zeros((capacity, array.shape[1]), dtype=np.float64)
+    out[: array.shape[0]] = array
+    return out
+
+
+class DynamicNomad:
+    """Warm-start NOMAD over a base matrix plus streaming arrivals.
+
+    Parameters
+    ----------
+    base:
+        Ratings known at construction (the stream's warm-up prefix, or a
+        full training set for static use).
+    n_workers:
+        Number of decentralized workers (>= 1); fixed for the lifetime of
+        the run — arrivals are routed, never re-partitioned.
+    hyper:
+        Model hyperparameters.
+    run:
+        Optional :class:`~repro.config.RunConfig`; supplies default
+        ``seed``/``kernel_backend``.  Unlike the real runtimes this
+        trainer is in-process, so an update budget *is* honorable
+        (pass it through :meth:`sweep`'s ``max_updates``; the halt lands
+        on a column boundary, like the simulated engine's).
+    seed:
+        Root seed; explicit value beats ``run.seed``, default 0.
+    kernel_backend:
+        Kernel backend name; factors are ndarray-stored, so ``"auto"``
+        resolves to the numpy backend.
+    init_factors:
+        Optional warm-start factors validated against the base shape and
+        ``hyper.k`` — resuming from a previous run's
+        :attr:`~repro.api.result.FitResult.factors` is the §4 fold-in
+        protocol's starting point.
+    policy:
+        Recipient policy choosing each token's resting worker after a
+        sweep (§3.3; default uniform).
+    count_cap:
+        Optional ceiling on the per-rating update counters feeding the
+        equation-(11) step schedule.  ``None`` (default) is the paper's
+        unbounded decay — correct for a *fixed* dataset.  On a growing
+        dataset the decayed steps freeze the warm rows just when new
+        ratings need them to move; capping the counter keeps a step-size
+        floor of ``alpha / (1 + beta * cap**1.5)``, the standard
+        constant-floor remedy for nonstationary objectives.
+        :func:`repro.fit_stream` defaults to a small cap for exactly
+        this reason.
+    """
+
+    def __init__(
+        self,
+        base: RatingMatrix,
+        n_workers: int,
+        hyper: HyperParams,
+        run: RunConfig | None = None,
+        seed: int | None = None,
+        kernel_backend: str | None = None,
+        init_factors: FactorPair | None = None,
+        policy: RecipientPolicy | None = None,
+        count_cap: int | None = None,
+    ):
+        if n_workers < 1:
+            raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
+        if base.n_rows < n_workers:
+            raise ConfigError(
+                f"cannot split {base.n_rows} users into {n_workers} workers"
+            )
+        if count_cap is not None and count_cap < 1:
+            raise ConfigError(
+                f"count_cap must be >= 1 or None, got {count_cap}"
+            )
+        self.count_cap = count_cap
+        self.hyper = hyper
+        self.run_config = run
+        self.n_workers = int(n_workers)
+        if seed is None:
+            seed = run.seed if run is not None else 0
+        if kernel_backend is None and run is not None:
+            kernel_backend = run.kernel_backend
+        self.seed = int(seed)
+        self.backend = resolve_backend(
+            kernel_backend, k=hyper.k, storage="ndarray"
+        )
+        self.policy = policy if policy is not None else UniformPolicy()
+
+        self._factory = RngFactory(self.seed)
+        self._route_rng = self._factory.pyrandom("dynamic-route")
+        self._grow_rng = self._factory.stream("dynamic-grow")
+
+        if init_factors is None:
+            factors = _draw_factors(
+                base.n_rows, base.n_cols, hyper.k,
+                self._factory.stream("init"),
+            )
+        else:
+            factors = validate_init_factors(
+                init_factors, base.n_rows, base.n_cols, hyper.k
+            )
+        self._n_users = base.n_rows
+        self._n_items = base.n_cols
+        # Capacity-backed storage: ingest-time growth is amortized O(1),
+        # and kernels only ever touch rows below the live counts.
+        self._w = _grown(factors.w.copy(), base.n_rows)
+        self._h = _grown(factors.h.copy(), base.n_cols)
+
+        self.delta = DeltaStore(base)
+
+        # One-time base partition; arrivals extend these structures only.
+        p = self.n_workers
+        partition = partition_rows_equal_ratings(base, p)
+        self._owner_of_user: list[int] = [0] * base.n_rows
+        for q, members in enumerate(partition):
+            for user in members.tolist():
+                self._owner_of_user[user] = q
+        shards = base.shard_by_rows(partition)
+        self._col_users: list[list[list[int]]] = []
+        self._col_ratings: list[list[list[float]]] = []
+        self._col_counts: list[list[list[int]]] = []
+        self._worker_load = [0] * p
+        for q, shard in enumerate(shards):
+            users_per_col: list[list[int]] = []
+            ratings_per_col: list[list[float]] = []
+            counts_per_col: list[list[int]] = []
+            for j in range(base.n_cols):
+                users, ratings = shard.column(j)
+                users_per_col.append(users.tolist())
+                ratings_per_col.append(ratings.tolist())
+                counts_per_col.append([0] * users.size)
+            self._col_users.append(users_per_col)
+            self._col_ratings.append(ratings_per_col)
+            self._col_counts.append(counts_per_col)
+            self._worker_load[q] = shard.nnz
+
+        self._queues: list[deque[int]] = [deque() for _ in range(p)]
+        self._ledger = OwnershipLedger(base.n_cols, p)
+        scatter = self._factory.pyrandom("dynamic-scatter")
+        for j in range(base.n_cols):
+            q = scatter.randrange(p)
+            self._queues[q].append(j)
+            self._ledger.acquire(j, q)
+
+        self._total_updates = 0
+        self._worker_updates = [0] * p
+        self._new_users = 0
+        self._new_items = 0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        """Users covered so far (grows as the stream introduces them)."""
+        return self._n_users
+
+    @property
+    def n_items(self) -> int:
+        """Items covered so far (grows as the stream introduces them)."""
+        return self._n_items
+
+    @property
+    def total_updates(self) -> int:
+        """SGD updates applied so far."""
+        return self._total_updates
+
+    @property
+    def updates_per_worker(self) -> list[int]:
+        """Per-worker update counts (load diagnostics)."""
+        return list(self._worker_updates)
+
+    @property
+    def arrivals(self) -> int:
+        """Ratings ingested since construction."""
+        return len(self.delta)
+
+    @property
+    def new_users(self) -> int:
+        """Users first seen mid-stream."""
+        return self._new_users
+
+    @property
+    def new_items(self) -> int:
+        """Items (tokens) minted mid-stream."""
+        return self._new_items
+
+    @property
+    def factors(self) -> FactorPair:
+        """Decoupled (W, H) snapshot of the current model."""
+        return FactorPair(
+            self._w[: self._n_users].copy(), self._h[: self._n_items].copy()
+        )
+
+    def queue_sizes(self) -> list[int]:
+        """Tokens resting at each worker (diagnostics, tests)."""
+        return [len(queue) for queue in self._queues]
+
+    def owner_of_user(self, user: int) -> int:
+        """The worker owning ``user``'s row (fixed at first sight)."""
+        if not 0 <= user < self._n_users:
+            raise ConfigError(f"user {user} out of range [0, {self._n_users})")
+        return self._owner_of_user[user]
+
+    def combined(self) -> RatingMatrix:
+        """Base plus arrivals over the current ``(n_users, n_items)`` shape."""
+        return self.delta.combined(self._n_users, self._n_items)
+
+    # ------------------------------------------------------------------
+    # Ingestion (the §4 fold-in path)
+    # ------------------------------------------------------------------
+    def ingest(self, event: RatingEvent) -> None:
+        """Fold one arrival in: grow entities on first sight, route the
+        rating to the owning worker's column store.
+
+        No re-partitioning ever happens: a new user is pinned to the
+        currently least-loaded worker; a new item mints a fresh token
+        placed on a seeded random queue.  The rating participates in the
+        very next :meth:`sweep`.
+        """
+        user, item, value = event.user, event.item, event.value
+        # Validate everything BEFORE growing: a rejected arrival must
+        # leave the trainer exactly as it was (no phantom users/tokens).
+        if user < 0 or item < 0:
+            raise DataError(f"arrival index out of range: ({user}, {item})")
+        if not np.isfinite(value):
+            raise DataError(f"arrival rating must be finite, got {value}")
+        if self.delta.contains(user, item):
+            raise DataError(
+                f"duplicate arrival for already-rated cell ({user}, {item})"
+            )
+        if user >= self._n_users:
+            self._grow_users(user + 1)
+        if item >= self._n_items:
+            self._grow_items(item + 1)
+        self.delta.record(user, item, value)
+        owner = self._owner_of_user[user]
+        self._col_users[owner][item].append(user)
+        self._col_ratings[owner][item].append(value)
+        self._col_counts[owner][item].append(0)
+        self._worker_load[owner] += 1
+
+    def _grow_users(self, n_users: int) -> None:
+        bound = 1.0 / np.sqrt(self.hyper.k)
+        self._w = _grown(self._w, n_users)
+        for user in range(self._n_users, n_users):
+            self._w[user] = self._grow_rng.uniform(
+                0.0, bound, size=self.hyper.k
+            )
+            owner = int(np.argmin(self._worker_load))
+            self._owner_of_user.append(owner)
+            self._new_users += 1
+        self._n_users = n_users
+
+    def _grow_items(self, n_items: int) -> None:
+        bound = 1.0 / np.sqrt(self.hyper.k)
+        self._h = _grown(self._h, n_items)
+        self._ledger.grow(n_items)
+        for item in range(self._n_items, n_items):
+            self._h[item] = self._grow_rng.uniform(
+                0.0, bound, size=self.hyper.k
+            )
+            for q in range(self.n_workers):
+                self._col_users[q].append([])
+                self._col_ratings[q].append([])
+                self._col_counts[q].append([])
+            dest = self._route_rng.randrange(self.n_workers)
+            self._queues[dest].append(item)
+            self._ledger.acquire(item, dest)
+            self._new_items += 1
+        self._n_items = n_items
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def sweep(self, max_updates: int | None = None) -> int:
+        """Route every token through every worker once; return updates.
+
+        One sweep is the §3.4 circulation schedule: each token starts at
+        its resting worker and tours the remaining workers in a fresh
+        seeded order, so every observed rating receives exactly one SGD
+        update (rounds are interleaved across tokens the way concurrent
+        workers would interleave them — a serializable execution by the
+        owner-computes argument of §4.1).  Afterwards each token rests at
+        a policy-chosen queue.  ``max_updates`` caps the updates applied
+        *this call*; tokens still complete their tours so conservation
+        holds.
+        """
+        p = self.n_workers
+        plan: list[tuple[int, list[int]]] = []
+        for q in range(p):
+            while self._queues[q]:
+                j = self._queues[q].popleft()
+                others = [w for w in range(p) if w != q]
+                self._route_rng.shuffle(others)
+                plan.append((j, [q, *others]))
+
+        applied = 0
+        hyper = self.hyper
+        for r in range(p):
+            for j, stops in plan:
+                stop = stops[r]
+                if r > 0:
+                    self._ledger.release(j, stops[r - 1])
+                    self._ledger.acquire(j, stop)
+                if max_updates is not None and applied >= max_updates:
+                    continue
+                users = self._col_users[stop][j]
+                if not users:
+                    continue
+                counts = self._col_counts[stop][j]
+                done = self.backend.process_column(
+                    self._w,
+                    self._h[j],
+                    users,
+                    self._col_ratings[stop][j],
+                    counts,
+                    hyper.alpha,
+                    hyper.beta,
+                    hyper.lambda_,
+                )
+                if self.count_cap is not None:
+                    # Keep the eq-(11) decay floored: counters never pass
+                    # the cap, so a sweep can clamp just what it touched.
+                    cap = self.count_cap
+                    for offset, count in enumerate(counts):
+                        if count > cap:
+                            counts[offset] = cap
+                applied += done
+                self._worker_updates[stop] += done
+
+        for j, stops in plan:
+            self._ledger.release(j, stops[-1])
+            dest = self.policy.choose(
+                range(p), lambda w: len(self._queues[w]), self._route_rng
+            )
+            self._queues[dest].append(j)
+            self._ledger.acquire(j, dest)
+        self._ledger.assert_conserved()
+        self._total_updates += applied
+        return applied
+
+    def train(self, epochs: int, max_updates: int | None = None) -> int:
+        """Run ``epochs`` sweeps (bounded by ``max_updates``); return updates."""
+        if epochs < 0:
+            raise ConfigError(f"epochs must be >= 0, got {epochs}")
+        applied = 0
+        for _ in range(epochs):
+            budget = None if max_updates is None else max_updates - applied
+            if budget is not None and budget <= 0:
+                break
+            applied += self.sweep(budget)
+        return applied
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicNomad(users={self._n_users}, items={self._n_items}, "
+            f"workers={self.n_workers}, arrivals={self.arrivals}, "
+            f"updates={self._total_updates})"
+        )

@@ -1,0 +1,172 @@
+"""Serving front: answer traffic from the newest snapshot.
+
+A :class:`Recommender` sits between request traffic and a
+:class:`~repro.stream.snapshots.SnapshotStore`.  Every call reads the
+*newest* snapshot; per-user top-N results are cached and the whole cache
+is invalidated the moment a rotation is observed (snapshot ``seq``
+changed), so a served recommendation is never staler than one rotation
+cadence.
+
+Cold-start policy is explicit: a user or item the serving snapshot has
+never seen either raises (``cold_start="error"``) or falls back to the
+mean factor row (``cold_start="mean"``, the default) — the average-user
+approximation, which degrades to popularity ranking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..model import top_items
+from .snapshots import ModelSnapshot, SnapshotStore
+
+__all__ = ["Recommender"]
+
+_COLD_START = ("mean", "error")
+
+
+class Recommender:
+    """Top-N and point-prediction serving over rotating snapshots.
+
+    Parameters
+    ----------
+    store:
+        Snapshot store to serve from; must hold at least one snapshot by
+        the time the first request arrives.
+    cold_start:
+        ``"mean"`` (default) — requests for unseen users/items are
+        answered with the mean factor row; ``"error"`` — they raise
+        :class:`~repro.errors.ConfigError`.
+    max_cache_users:
+        Per-user top-N cache capacity; 0 disables caching.
+    """
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        cold_start: str = "mean",
+        max_cache_users: int = 4096,
+    ):
+        if cold_start not in _COLD_START:
+            raise ConfigError(
+                f"cold_start must be one of {_COLD_START}, got {cold_start!r}"
+            )
+        if max_cache_users < 0:
+            raise ConfigError(
+                f"max_cache_users must be >= 0, got {max_cache_users}"
+            )
+        self.store = store
+        self.cold_start = cold_start
+        self.max_cache_users = int(max_cache_users)
+        self._cache: dict[tuple[int, int], list[tuple[int, float]]] = {}
+        self._cache_seq: int | None = None
+        self._mean_rows: tuple[np.ndarray, np.ndarray] | None = None
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> ModelSnapshot:
+        """Newest snapshot, invalidating the caches on observed rotation."""
+        snapshot = self.store.latest
+        if snapshot.seq != self._cache_seq:
+            if self._cache:
+                self.invalidations += 1
+            self._cache.clear()
+            self._mean_rows = None
+            self._cache_seq = snapshot.seq
+        return snapshot
+
+    def _means(self, snapshot: ModelSnapshot) -> tuple[np.ndarray, np.ndarray]:
+        """Mean (W row, H row) of the snapshot — the cold-start fallback,
+        computed once per rotation (snapshots are immutable)."""
+        if self._mean_rows is None:
+            factors = snapshot.model.factors
+            self._mean_rows = (factors.w.mean(axis=0), factors.h.mean(axis=0))
+        return self._mean_rows
+
+    def _user_vector(self, snapshot: ModelSnapshot, user: int) -> np.ndarray:
+        model = snapshot.model
+        if 0 <= user < model.n_users:
+            return model.factors.w[user]
+        if self.cold_start == "error":
+            raise ConfigError(
+                f"user {user} unknown to serving snapshot seq "
+                f"{snapshot.seq} (covers {model.n_users} users)"
+            )
+        return self._means(snapshot)[0]
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+    def predict(self, user: int, item: int) -> float:
+        """Predicted rating from the newest snapshot.
+
+        Unknown users fall back per the cold-start policy; unknown items
+        likewise (mean item row under ``"mean"``).
+        """
+        snapshot = self._snapshot()
+        model = snapshot.model
+        w_row = self._user_vector(snapshot, user)
+        if 0 <= item < model.n_items:
+            h_row = model.factors.h[item]
+        elif self.cold_start == "error":
+            raise ConfigError(
+                f"item {item} unknown to serving snapshot seq "
+                f"{snapshot.seq} (covers {model.n_items} items)"
+            )
+        else:
+            h_row = self._means(snapshot)[1]
+        return float(np.dot(w_row, h_row))
+
+    def recommend(
+        self,
+        user: int,
+        top_n: int = 10,
+        exclude: np.ndarray | None = None,
+    ) -> list[tuple[int, float]]:
+        """Top-N items for ``user`` from the newest snapshot.
+
+        Results are cached per ``(user, top_n)`` until the next rotation.
+        ``exclude`` requests bypass the cache (the mask is caller state,
+        not model state).  Unknown users follow the cold-start policy.
+        """
+        if top_n < 1:
+            raise ConfigError(f"top_n must be >= 1, got {top_n}")
+        snapshot = self._snapshot()
+        model = snapshot.model
+        known = 0 <= user < model.n_users
+        cacheable = (
+            exclude is None and known and self.max_cache_users > 0
+        )
+        key = (user, top_n)
+        if cacheable:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self.cache_hits += 1
+                return list(hit)
+            self.cache_misses += 1
+
+        if known:
+            ranked = model.recommend(user, top_n=top_n, exclude=exclude)
+        else:
+            w_row = self._user_vector(snapshot, user)  # may raise
+            ranked = top_items(model.factors.h @ w_row, top_n, exclude)
+
+        if cacheable and len(self._cache) < self.max_cache_users:
+            self._cache[key] = list(ranked)
+        return ranked
+
+    # ------------------------------------------------------------------
+    @property
+    def serving_seq(self) -> int:
+        """Sequence number of the snapshot answering current traffic."""
+        return self.store.latest.seq
+
+    def __repr__(self) -> str:
+        return (
+            f"Recommender(cold_start={self.cold_start!r}, "
+            f"hits={self.cache_hits}, misses={self.cache_misses}, "
+            f"invalidations={self.invalidations})"
+        )

@@ -36,9 +36,9 @@ LIVE_RUN = RunConfig(duration=0.25, eval_interval=0.25, seed=3)
 
 class TestRegistries:
     def test_stock_engines_registered(self):
-        assert {"simulated", "threaded", "multiprocess", "cluster"} == set(
-            ENGINES
-        )
+        assert {
+            "simulated", "threaded", "multiprocess", "cluster", "dynamic"
+        } == set(ENGINES)
 
     def test_stock_algorithms_registered(self):
         expected = {"NOMAD", "DSGD", "DSGD++", "FPSGD**", "CCD++", "ALS",
@@ -67,20 +67,30 @@ class TestRegistries:
 
     def test_capability_flags(self):
         assert ALGORITHMS["NOMAD"].engines == {
-            "simulated", "threaded", "multiprocess", "cluster"
+            "simulated", "threaded", "multiprocess", "cluster", "dynamic"
         }
         for name, spec in ALGORITHMS.items():
             if name != "NOMAD":
                 assert spec.engines == {"simulated"}, name
 
+    def test_stream_capability_flags(self):
+        assert ALGORITHMS["NOMAD"].stream_engines == {"dynamic"}
+        assert ENGINES["dynamic"].supports_stream
+        for name, spec in ENGINES.items():
+            if name != "dynamic":
+                assert not spec.supports_stream, name
+        assert repro.supported_stream_pairs() == [("NOMAD", "dynamic")]
+
     def test_supported_pairs_matrix(self):
         pairs = supported_pairs()
-        # 9 algorithms on simulated + NOMAD on the three live engines.
-        assert len(pairs) == len(ALGORITHMS) + 3
+        # 9 algorithms on simulated + NOMAD on the four other engines.
+        assert len(pairs) == len(ALGORITHMS) + 4
         assert ("NOMAD", "threaded") in pairs
         assert ("NOMAD", "cluster") in pairs
+        assert ("NOMAD", "dynamic") in pairs
         assert ("ALS", "threaded") not in pairs
         assert ("ALS", "cluster") not in pairs
+        assert ("ALS", "dynamic") not in pairs
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ConfigError, match="already registered"):
@@ -124,7 +134,10 @@ class TestPairRejection:
         message = str(excinfo.value)
         # The error names the pair and lists the full support matrix.
         assert "'ALS'" in message and "'threaded'" in message
-        assert "NOMAD: cluster, multiprocess, simulated, threaded" in message
+        assert (
+            "NOMAD: cluster, dynamic, multiprocess, simulated, threaded"
+            in message
+        )
         assert "ALS: simulated" in message
 
     def test_every_undeclared_pair_rejected(self, tiny_split):
@@ -289,7 +302,47 @@ class TestFitLiveEngines:
                 options=NomadOptions(),
             )
 
-    def test_external_factors_rejected(self, tiny_split):
+    @pytest.mark.parametrize("engine", ["threaded", "multiprocess", "cluster"])
+    def test_warm_start_honored(self, tiny_split, engine):
+        """init_factors= threads through the live engines: the t=0 trace
+        point is the warm start's RMSE and the caller's arrays survive."""
+        from repro.linalg.factors import init_factors
+        from repro.linalg.objective import test_rmse
+        from repro.rng import RngFactory
+
+        train, test = tiny_split
+        warm = fit(
+            train, test, hyper=HYPER, run=SIM_RUN,
+        ).factors
+        w_before, h_before = warm.w.copy(), warm.h.copy()
+        result = fit(
+            train, test, engine=engine, hyper=HYPER, run=LIVE_RUN,
+            n_workers=2, init_factors=warm,
+        )
+        assert result.trace.records[0].rmse == pytest.approx(
+            test_rmse(warm, test)
+        )
+        assert np.array_equal(warm.w, w_before)
+        assert np.array_equal(warm.h, h_before)
+        # A warm model should never be *worse* than where it started by
+        # much; allow slack for short asynchronous runs.
+        assert result.final_rmse() < result.trace.records[0].rmse * 1.10
+
+    def test_warm_start_shape_mismatch_rejected(self, tiny_split):
+        from repro.linalg.factors import init_factors
+        from repro.rng import RngFactory
+
+        train, test = tiny_split
+        bad = init_factors(3, 3, HYPER.k, RngFactory(0).stream("init"))
+        for engine in ("simulated", "threaded", "multiprocess", "cluster",
+                       "dynamic"):
+            with pytest.raises(ConfigError, match="init factors"):
+                fit(
+                    train, test, engine=engine, hyper=HYPER, run=LIVE_RUN,
+                    init_factors=bad,
+                )
+
+    def test_init_factors_and_legacy_alias_conflict(self, tiny_split):
         from repro.linalg.factors import init_factors
         from repro.rng import RngFactory
 
@@ -297,10 +350,10 @@ class TestFitLiveEngines:
         factors = init_factors(
             train.n_rows, train.n_cols, HYPER.k, RngFactory(0).stream("init")
         )
-        with pytest.raises(ConfigError, match="factors"):
+        with pytest.raises(ConfigError, match="not both"):
             fit(
-                train, test, engine="threaded", hyper=HYPER, run=LIVE_RUN,
-                factors=factors,
+                train, test, hyper=HYPER, run=SIM_RUN,
+                init_factors=factors, factors=factors,
             )
 
     def test_unknown_kwargs_rejected(self, tiny_split):

@@ -307,7 +307,10 @@ class TestClusterViaFacade:
             fit(train, test, algorithm="als", engine="cluster")
         message = str(excinfo.value)
         assert "'ALS'" in message and "'cluster'" in message
-        assert "NOMAD: cluster, multiprocess, simulated, threaded" in message
+        assert (
+            "NOMAD: cluster, dynamic, multiprocess, simulated, threaded"
+            in message
+        )
 
     def test_options_rejected(self, tiny_split):
         train, test = tiny_split

@@ -9,7 +9,7 @@ from repro.config import HyperParams, RunConfig
 from repro.core.nomad import NomadSimulation
 from repro.errors import ConfigError, DataError
 from repro.linalg.factors import FactorPair
-from repro.model import CompletionModel
+from repro.model import FORMAT_VERSION, CompletionModel
 from repro.simulator.cluster import Cluster
 from repro.simulator.network import HPC_PROFILE
 
@@ -59,13 +59,39 @@ class TestRecommendation:
         assert all(item != 0 for item, _ in recs)
 
     def test_top_n_clamped(self, model):
-        assert len(model.recommend(0, top_n=100)) <= model.n_items
+        """top_n beyond the catalog clamps: exactly n_items results, best
+        first, with every item present exactly once."""
+        recs = model.recommend(0, top_n=100)
+        assert len(recs) == model.n_items
+        assert sorted(item for item, _ in recs) == list(range(model.n_items))
+        scores = [score for _, score in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_excluding_all_items_returns_empty(self, model):
+        """Masking the whole catalog yields [] — a valid 'nothing left to
+        recommend' answer, not an error."""
+        everything = np.arange(model.n_items)
+        assert model.recommend(0, top_n=3, exclude=everything) == []
+
+    def test_excluded_items_never_leak_into_clamped_top_n(self, model):
+        """The -inf mask and top_n clamping compose: asking for more than
+        remains returns only the unmasked items, best first."""
+        recs = model.recommend(0, top_n=100, exclude=np.array([1, 3]))
+        assert [item for item, _ in recs] != []
+        assert {item for item, _ in recs} == {0, 2}
+        assert all(np.isfinite(score) for _, score in recs)
+
+    def test_exclude_accepts_duplicates_and_lists(self, model):
+        recs = model.recommend(0, top_n=4, exclude=[0, 0, 2])
+        assert {item for item, _ in recs} == {1, 3}
 
     def test_bad_args(self, model):
         with pytest.raises(ConfigError):
             model.recommend(0, top_n=0)
         with pytest.raises(ConfigError):
             model.recommend(0, exclude=np.array([99]))
+        with pytest.raises(ConfigError):
+            model.recommend(0, exclude=np.array([-1]))
 
 
 class TestEvaluationAndPersistence:
@@ -85,6 +111,29 @@ class TestEvaluationAndPersistence:
         path = tmp_path / "bad.npz"
         np.savez(path, w=np.zeros((2, 2)))
         with pytest.raises(DataError):
+            CompletionModel.load(path)
+
+    def test_save_writes_format_version(self, model, tmp_path):
+        path = tmp_path / "model.npz"
+        model.save(path)
+        with np.load(path) as payload:
+            assert int(payload["format_version"]) == FORMAT_VERSION
+
+    def test_load_accepts_legacy_unversioned_file(self, model, tmp_path):
+        """Files written before versioning (bare w/h arrays) still load."""
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(path, w=model.factors.w, h=model.factors.h)
+        loaded = CompletionModel.load(path)
+        assert np.array_equal(loaded.factors.w, model.factors.w)
+        assert np.array_equal(loaded.factors.h, model.factors.h)
+
+    def test_load_rejects_future_format_version(self, model, tmp_path):
+        path = tmp_path / "future.npz"
+        np.savez_compressed(
+            path, w=model.factors.w, h=model.factors.h,
+            format_version=np.int64(FORMAT_VERSION + 41),
+        )
+        with pytest.raises(DataError, match=str(FORMAT_VERSION + 41)):
             CompletionModel.load(path)
 
     def test_repr(self, model):

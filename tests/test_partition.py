@@ -183,6 +183,29 @@ class TestOwnershipLedger:
         ledger.acquire(0, 0)
         ledger.assert_conserved()
 
+    def test_grow_mints_in_flight_tokens(self):
+        ledger = OwnershipLedger(2, 2)
+        ledger.acquire(0, 0)
+        ledger.grow(4)
+        assert ledger.n_items == 4
+        assert ledger.owner_of(0) == 0  # existing state preserved
+        assert ledger.owner_of(2) is None and ledger.owner_of(3) is None
+        ledger.acquire(3, 1)  # new items acquirable like any token
+        assert ledger.owner_of(3) == 1
+        ledger.assert_conserved()
+
+    def test_grow_is_idempotent_at_same_size(self):
+        ledger = OwnershipLedger(3, 2)
+        ledger.acquire(1, 0)
+        ledger.grow(3)
+        assert ledger.n_items == 3
+        assert ledger.owner_of(1) == 0
+
+    def test_grow_cannot_shrink(self):
+        ledger = OwnershipLedger(3, 2)
+        with pytest.raises(SimulationError, match="shrink"):
+            ledger.grow(2)
+
     def test_bad_construction(self):
         with pytest.raises(SimulationError):
             OwnershipLedger(0, 1)

@@ -141,6 +141,112 @@ class TestSelect:
             matrix.select(np.ones(3, dtype=bool))
 
 
+class TestWithAppended:
+    """Delta composition: appended arrivals must be indistinguishable
+    from building the combined matrix from scratch."""
+
+    def _scratch(self, matrix, rows, cols, vals, n_rows=None, n_cols=None):
+        all_rows = np.concatenate([matrix.rows, np.asarray(rows)])
+        all_cols = np.concatenate([matrix.cols, np.asarray(cols)])
+        all_vals = np.concatenate([matrix.vals, np.asarray(vals)])
+        if n_rows is None:
+            n_rows = max(matrix.n_rows, int(all_rows.max()) + 1)
+        if n_cols is None:
+            n_cols = max(matrix.n_cols, int(all_cols.max()) + 1)
+        return RatingMatrix(n_rows, n_cols, all_rows, all_cols, all_vals)
+
+    def _assert_views_equal(self, a, b):
+        assert a.shape == b.shape and a.nnz == b.nnz
+        assert a == b  # canonical COO triplets
+        for i in range(a.n_rows):  # CSR view
+            items_a, vals_a = a.items_of_user(i)
+            items_b, vals_b = b.items_of_user(i)
+            assert np.array_equal(items_a, items_b)
+            assert np.array_equal(vals_a, vals_b)
+        for j in range(a.n_cols):  # CSC view
+            users_a, vals_a = a.users_of_item(j)
+            users_b, vals_b = b.users_of_item(j)
+            assert np.array_equal(users_a, users_b)
+            assert np.array_equal(vals_a, vals_b)
+
+    def test_append_within_shape(self):
+        matrix = make_matrix()
+        rows, cols, vals = [1, 2], [0, 2], [7.0, 8.0]
+        combined = matrix.with_appended(rows, cols, vals)
+        assert combined.shape == matrix.shape
+        self._assert_views_equal(
+            combined, self._scratch(matrix, rows, cols, vals)
+        )
+
+    def test_append_brand_new_row_and_col(self):
+        matrix = make_matrix()
+        # User 4 (skipping 3) and item 3 did not exist before.
+        rows, cols, vals = [4, 0], [1, 3], [2.5, 9.0]
+        combined = matrix.with_appended(rows, cols, vals)
+        assert combined.shape == (5, 4)
+        self._assert_views_equal(
+            combined, self._scratch(matrix, rows, cols, vals)
+        )
+        # The never-rated row 3 exists with an empty CSR slice.
+        items, vals_ = combined.items_of_user(3)
+        assert items.size == 0 and vals_.size == 0
+
+    def test_append_empty_is_identity(self):
+        matrix = make_matrix()
+        combined = matrix.with_appended([], [], [])
+        self._assert_views_equal(combined, matrix)
+
+    def test_explicit_shape_grows_further(self):
+        matrix = make_matrix()
+        combined = matrix.with_appended([1], [2], [1.5], n_rows=10, n_cols=7)
+        assert combined.shape == (10, 7)
+        assert combined.col_counts().size == 7
+        assert combined.row_counts().size == 10
+
+    def test_explicit_shape_too_small_rejected(self):
+        matrix = make_matrix()
+        with pytest.raises(DataError, match="n_rows"):
+            matrix.with_appended([5], [0], [1.0], n_rows=4)
+        with pytest.raises(DataError, match="n_cols"):
+            matrix.with_appended([0], [5], [1.0], n_cols=4)
+
+    def test_duplicate_against_existing_rejected(self):
+        matrix = make_matrix()
+        with pytest.raises(DataError, match="duplicate"):
+            matrix.with_appended([0], [0], [9.0])
+
+    def test_duplicate_within_arrivals_rejected(self):
+        matrix = make_matrix()
+        with pytest.raises(DataError, match="duplicate"):
+            matrix.with_appended([1, 1], [2, 2], [1.0, 2.0])
+
+    def test_negative_indices_rejected(self):
+        matrix = make_matrix()
+        with pytest.raises(DataError):
+            matrix.with_appended([-1], [0], [1.0])
+        with pytest.raises(DataError):
+            matrix.with_appended([0], [-1], [1.0])
+
+    def test_randomized_composition_matches_scratch(self):
+        """Random split of a random matrix: base + delta == whole."""
+        rng = RngFactory(7).stream("append")
+        n_rows, n_cols = 12, 9
+        dense = rng.random((n_rows, n_cols))
+        dense[dense < 0.6] = 0.0
+        whole = RatingMatrix.from_dense(dense)
+        keep = rng.random(whole.nnz) < 0.5
+        keep[0] = True  # base must be non-empty
+        base_rows = whole.rows[keep]
+        base_cols = whole.cols[keep]
+        base = RatingMatrix(
+            n_rows, n_cols, base_rows, base_cols, whole.vals[keep]
+        )
+        combined = base.with_appended(
+            whole.rows[~keep], whole.cols[~keep], whole.vals[~keep]
+        )
+        self._assert_views_equal(combined, whole)
+
+
 class TestShards:
     def test_shard_partition(self):
         matrix = make_matrix()
