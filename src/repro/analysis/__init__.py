@@ -1,0 +1,43 @@
+"""nomadlint: a self-hosted static-analysis pass over the repro source.
+
+NOMAD's correctness claim is a *non-local* invariant — the algorithm is
+lock-free because exactly one worker owns each item column at a time, so
+``h_j`` is only ever written by its current owner (§3.5/§4.1 of Yun et
+al., VLDB 2014).  Four substrates restate that discipline in docstrings
+(threaded, multiprocess, socket cluster, streaming ``DynamicNomad``);
+this package enforces it, plus the resource rules earlier PRs fixed real
+bugs against (shared-memory unlink, socket close, ``perf_counter``
+timing).
+
+Structure mirrors the facade registries: one :class:`~.rules.Rule` per
+invariant, registered by code through :func:`~.rules.register_rule`;
+an AST :class:`~.context.ModuleContext` with scope/alias tracking; inline
+suppressions that must carry a reason; and a checked-in baseline so
+pre-existing findings ratchet (new violations fail, old ones are tracked
+down).  Run it as ``repro-nomad analyze`` or ``python -m repro.analysis``.
+"""
+
+from .baseline import Baseline, load_baseline, write_baseline
+from .context import Finding, ModuleContext
+from .report import AnalysisReport, render_json, render_text
+from .rules import RULES, Rule, register_rule, rules_table
+from .runner import analyze_paths, iter_python_files, main
+from . import hygiene, invariants  # noqa: F401  (rule registration)
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "Finding",
+    "ModuleContext",
+    "RULES",
+    "Rule",
+    "analyze_paths",
+    "iter_python_files",
+    "load_baseline",
+    "main",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rules_table",
+    "write_baseline",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — run nomadlint from the command line."""
+
+from .runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,137 @@
+"""The baseline ratchet: pre-existing findings tracked, new ones fatal.
+
+The baseline file is a checked-in JSON inventory of the findings the
+repo currently lives with.  The ratchet rules:
+
+* a live finding whose fingerprint is **in** the baseline is *baselined*
+  — reported, but not fatal (it is tracked down over time);
+* a live finding **not** in the baseline is *new* — the analysis fails;
+* a baseline entry with no live finding is *stale* — reported so the
+  next ``--update-baseline`` run shrinks the file (the ratchet only ever
+  tightens).
+
+Fingerprints hash the offending line's source text (not its number), so
+edits elsewhere in a file do not reclassify old findings; identical
+lines are matched as a multiset, so adding a *second* copy of a
+baselined violation still fails.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..errors import AnalysisError
+from .context import Finding
+
+__all__ = ["Baseline", "Ratchet", "load_baseline", "write_baseline"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Parsed baseline file: fingerprint multiset plus display entries."""
+
+    path: str | None = None
+    entries: list[dict] = field(default_factory=list)
+
+    def counts(self) -> Counter:
+        return Counter(entry["fingerprint"] for entry in self.entries)
+
+
+@dataclass
+class Ratchet:
+    """Outcome of matching live findings against a baseline."""
+
+    new: list[Finding]
+    baselined: list[Finding]
+    stale: list[dict]
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a baseline file; a missing file is an explicit error (commit
+    an empty baseline with ``--update-baseline`` first)."""
+    if not os.path.exists(path):
+        raise AnalysisError(
+            f"baseline file {path!r} does not exist; create it with "
+            "'repro-nomad analyze --update-baseline --baseline "
+            f"{path} <paths>'"
+        )
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise AnalysisError(f"cannot read baseline {path!r}: {error}") from error
+    if not isinstance(payload, dict) or payload.get("tool") != "nomadlint":
+        raise AnalysisError(
+            f"{path!r} is not a nomadlint baseline (missing tool marker)"
+        )
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise AnalysisError(
+            f"baseline {path!r} has version {version!r}; this checker "
+            f"reads version {BASELINE_VERSION}"
+        )
+    entries = payload.get("findings")
+    if not isinstance(entries, list) or not all(
+        isinstance(e, dict) and "fingerprint" in e for e in entries
+    ):
+        raise AnalysisError(
+            f"baseline {path!r} is malformed: 'findings' must be a list "
+            "of objects with a 'fingerprint'"
+        )
+    return Baseline(path=path, entries=entries)
+
+
+def write_baseline(path: str, findings: list[Finding]) -> Baseline:
+    """Write the current live findings as the new baseline (sorted for
+    stable diffs); returns the written baseline."""
+    entries = [
+        {
+            "fingerprint": f.fingerprint,
+            "code": f.code,
+            "path": f.path,
+            "symbol": f.symbol,
+            "message": f.message,
+        }
+        for f in sorted(
+            findings, key=lambda f: (f.path, f.code, f.line, f.col)
+        )
+    ]
+    payload = {
+        "tool": "nomadlint",
+        "version": BASELINE_VERSION,
+        "findings": entries,
+    }
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return Baseline(path=path, entries=entries)
+
+
+def ratchet(findings: list[Finding], baseline: Baseline | None) -> Ratchet:
+    """Split live findings into new/baselined and list stale entries."""
+    if baseline is None:
+        return Ratchet(new=list(findings), baselined=[], stale=[])
+    budget = baseline.counts()
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        if budget.get(finding.fingerprint, 0) > 0:
+            budget[finding.fingerprint] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale = []
+    remaining = Counter(budget)
+    for entry in baseline.entries:
+        if remaining.get(entry["fingerprint"], 0) > 0:
+            remaining[entry["fingerprint"]] -= 1
+            stale.append(entry)
+    return Ratchet(new=new, baselined=baselined, stale=stale)

@@ -1,0 +1,163 @@
+"""Inline suppression comments: ``# nomadlint: ignore[NMD###] reason``.
+
+A suppression silences matching findings on its own line — or, when the
+comment stands alone on a line, on the next statement line — and **must
+carry a reason**: the reason string is the reviewable record of why the
+invariant is intentionally waived at this site.  A reason-less or
+malformed suppression is itself reported as :data:`NMD000
+<repro.analysis.rules.META_CODE_MALFORMED_SUPPRESSION>`, which cannot be
+suppressed.
+
+Several codes may share one comment::
+
+    conn = make()  # nomadlint: ignore[NMD004] closed by the pool reaper
+    # nomadlint: ignore[NMD001, NMD005] scratch harness, not a substrate
+    h[j] = probe(time.time())
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from .context import Finding, ModuleContext
+from .rules import META_CODE_MALFORMED_SUPPRESSION
+
+__all__ = ["Suppression", "collect_suppressions", "apply_suppressions"]
+
+_MARKER = re.compile(r"#\s*nomadlint\s*:\s*(.*)$")
+_IGNORE = re.compile(r"^ignore\s*\[([^\]]*)\]\s*:?\s*(.*)$")
+_CODE = re.compile(r"^NMD\d{3}$")
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression comment."""
+
+    line: int  #: line the comment sits on
+    target_line: int  #: line whose findings it silences
+    codes: frozenset[str]
+    reason: str
+    used_by: list[Finding] = field(default_factory=list)
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.line == self.target_line and finding.code in self.codes
+        )
+
+
+def _is_comment_only(line: str) -> bool:
+    return line.lstrip().startswith("#")
+
+
+def _comment_tokens(module: ModuleContext) -> list[tuple[int, str]]:
+    """(line, comment text) for every real comment token.
+
+    Tokenizing — rather than regexing raw lines — keeps suppression
+    syntax mentioned inside docstrings or string literals (like this
+    module's own examples) from parsing as live suppressions.
+    """
+    comments: list[tuple[int, str]] = []
+    reader = io.StringIO(module.source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except tokenize.TokenError:
+        pass  # the AST parsed, so any tail tokenize hiccup is cosmetic
+    return comments
+
+
+def collect_suppressions(
+    module: ModuleContext,
+) -> tuple[list[Suppression], list[Finding]]:
+    """Parse every suppression comment; malformed ones become findings."""
+    suppressions: list[Suppression] = []
+    malformed: list[Finding] = []
+
+    def bad(lineno: int, problem: str) -> None:
+        anchor = _Anchor(lineno)
+        malformed.append(
+            module.finding(
+                META_CODE_MALFORMED_SUPPRESSION,
+                anchor,
+                f"malformed nomadlint suppression: {problem}",
+            )
+        )
+
+    for index, comment in _comment_tokens(module):
+        text = module.lines[index - 1] if index <= len(module.lines) else ""
+        marker = _MARKER.search(comment)
+        if marker is None:
+            continue
+        body = marker.group(1).strip()
+        ignore = _IGNORE.match(body)
+        if ignore is None:
+            bad(index, f"expected 'ignore[NMD###] reason', got {body!r}")
+            continue
+        raw_codes = [c.strip() for c in ignore.group(1).split(",") if c.strip()]
+        reason = ignore.group(2).strip()
+        invalid = [c for c in raw_codes if not _CODE.match(c)]
+        if not raw_codes or invalid:
+            bad(
+                index,
+                f"invalid rule code(s) {invalid or '(none)'} in "
+                f"ignore[{ignore.group(1)}]",
+            )
+            continue
+        if META_CODE_MALFORMED_SUPPRESSION in raw_codes:
+            bad(index, f"{META_CODE_MALFORMED_SUPPRESSION} cannot be suppressed")
+            continue
+        if not reason:
+            bad(
+                index,
+                f"suppression of {', '.join(raw_codes)} carries no reason "
+                "— say why the invariant is waived here",
+            )
+            continue
+        target = index
+        if _is_comment_only(text):
+            # Standalone comment: applies to the next non-blank,
+            # non-comment line.
+            for offset in range(index, len(module.lines)):
+                candidate = module.lines[offset]
+                if candidate.strip() and not _is_comment_only(candidate):
+                    target = offset + 1
+                    break
+        suppressions.append(
+            Suppression(
+                line=index,
+                target_line=target,
+                codes=frozenset(raw_codes),
+                reason=reason,
+            )
+        )
+    return suppressions, malformed
+
+
+def apply_suppressions(
+    findings: list[Finding], suppressions: list[Suppression]
+) -> tuple[list[Finding], list[tuple[Finding, Suppression]]]:
+    """Split findings into (live, suppressed-with-their-suppression)."""
+    live: list[Finding] = []
+    silenced: list[tuple[Finding, Suppression]] = []
+    for finding in findings:
+        match = next(
+            (s for s in suppressions if s.matches(finding)), None
+        )
+        if match is None:
+            live.append(finding)
+        else:
+            match.used_by.append(finding)
+            silenced.append((finding, match))
+    return live, silenced
+
+
+class _Anchor:
+    """Minimal line anchor standing in for an AST node in findings."""
+
+    def __init__(self, lineno: int):
+        self.lineno = lineno
+        self.col_offset = 0

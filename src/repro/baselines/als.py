@@ -16,7 +16,6 @@ last-reducer ``max``, and the broadcast.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..linalg.factors import FactorPair
 from ..linalg.kernels import als_solve_row

@@ -11,6 +11,8 @@ Usage::
     repro-nomad fit --list
     repro-nomad stream --source replay --dataset netflix
     repro-nomad stream --source drift --arrivals 2000
+    repro-nomad analyze --baseline results/analysis_baseline.json src
+    repro-nomad analyze --list-rules
 
 ``run`` prints the ASCII report to stdout and optionally writes every
 series/table as CSV under ``--outdir``.  ``fit`` trains one model through
@@ -18,7 +20,9 @@ the :func:`repro.fit` facade, prints its convergence trace and timing
 block, and optionally saves the trained model as ``.npz``.  ``stream``
 replays an arrival stream through :func:`repro.fit_stream` — online
 ingestion, warm-start dynamic NOMAD, snapshot rotation — and prints the
-prequential RMSE trace and ingestion throughput.
+prequential RMSE trace and ingestion throughput.  ``analyze`` runs
+nomadlint, the repo's AST invariant checker, ratcheting findings against
+a checked-in baseline (new findings fail; suppressions require a reason).
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from .analysis.runner import add_analyze_arguments, run_analyze
 from .api import ALGORITHMS, ENGINES, fit, fit_stream, supported_pairs
 from .config import RunConfig
 from .errors import ConfigError, ReproError
@@ -239,6 +244,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="save the final serving snapshot as compressed npz",
     )
+
+    analyze_cmd = commands.add_parser(
+        "analyze",
+        help="run the nomadlint static-analysis pass",
+        description=(
+            "nomadlint: AST-based invariant checker for ownership, "
+            "concurrency, and resource discipline.  Findings in the "
+            "--baseline file pass (ratcheted); new findings fail with "
+            "exit code 1.  Suppress inline with "
+            "'# nomadlint: ignore[NMD###] reason' — the reason is "
+            "mandatory."
+        ),
+    )
+    add_analyze_arguments(analyze_cmd)
     return parser
 
 
@@ -394,6 +413,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "stream":
             try:
                 return _run_stream(args)
+            except ReproError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+
+        if args.command == "analyze":
+            try:
+                return run_analyze(args)
             except ReproError as error:
                 print(f"error: {error}", file=sys.stderr)
                 return 2

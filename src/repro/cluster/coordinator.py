@@ -59,6 +59,11 @@ from . import wire
 
 __all__ = ["ClusterNomad", "ClusterResult", "DEFAULT_BATCH_SIZE"]
 
+#: nomadlint NMD001 owner contexts: ``_assemble`` rebuilds (W, H) from
+#: the result shards after every worker has frozen and reported — the
+#: coordinator touches no factor while the run is live.
+__nomad_owner_contexts__ = ("_assemble",)
+
 #: Tokens per §3.5 envelope.  Smaller than the paper's 100 because a
 #: localhost run circulates far fewer items than Netflix has movies; the
 #: idle-flush in the worker keeps liveness at any value.

@@ -43,6 +43,11 @@ from . import wire
 
 __all__ = ["WorkerSpec", "run_worker", "tcp_worker_entry"]
 
+#: nomadlint NMD001 owner contexts: ``run_worker`` is the Algorithm 1
+#: loop — its W block is private to this node and each ``h_j`` arrives
+#: as an owned token payload, so every factor write is owner-guarded.
+__nomad_owner_contexts__ = ("run_worker",)
+
 #: Receive poll period while the inbox is empty, seconds.
 _POLL_SECONDS = 0.02
 

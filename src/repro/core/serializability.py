@@ -27,7 +27,7 @@ the tests demonstrate the contrast the paper draws in §4.3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import networkx as nx
 

@@ -16,7 +16,7 @@ arithmetic free of silent up-casts.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 

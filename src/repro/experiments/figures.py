@@ -35,7 +35,6 @@ from ..rng import RngFactory
 from ..simulator.cluster import Cluster
 from ..simulator.network import COMMODITY_PROFILE, HPC_PROFILE
 from .harness import (
-    COMMODITY_JITTER,
     ExperimentResult,
     TEST_FRACTION,
     build_dataset,

@@ -29,11 +29,7 @@ from ..datasets.registry import DatasetProfile, load_profile
 from ..errors import ConfigError, ExperimentError
 from ..rng import RngFactory
 from ..simulator.cluster import Cluster
-from ..simulator.network import (
-    COMMODITY_PROFILE,
-    HPC_PROFILE,
-    NetworkModel,
-)
+from ..simulator.network import HPC_PROFILE, NetworkModel
 from ..simulator.trace import Trace
 
 __all__ = [

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import os
 import re
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..simulator.trace import Trace
 from .harness import ExperimentResult

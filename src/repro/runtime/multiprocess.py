@@ -56,6 +56,12 @@ from .result import RuntimeResult, resolve_duration, resolve_run_settings
 
 __all__ = ["MultiprocessNomad", "MultiprocessResult"]
 
+#: nomadlint NMD001 owner contexts: ``_worker_main`` is the per-process
+#: token-dispatch loop (exclusive by token ownership); ``run`` seeds the
+#: shared blocks before any worker exists and snapshots them after every
+#: worker has exited — both outside the concurrent window.
+__nomad_owner_contexts__ = ("_worker_main", "run")
+
 _POLL_SECONDS = 0.02
 _JOIN_TIMEOUT = 10.0
 

@@ -39,6 +39,12 @@ from .result import RuntimeResult, resolve_duration, resolve_run_settings
 
 __all__ = ["ThreadedNomad", "ThreadedResult"]
 
+#: nomadlint NMD001 owner contexts: the only functions here allowed to
+#: write factor rows.  ``worker`` is the token-dispatch loop — it holds
+#: the popped token, so the owner-computes rule makes its W/H writes
+#: exclusive by construction.
+__nomad_owner_contexts__ = ("worker",)
+
 _STOP = object()  # queue sentinel telling a worker to drain and exit
 _POLL_SECONDS = 0.02
 

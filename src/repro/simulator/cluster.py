@@ -19,7 +19,7 @@ all 4 for compute (§5.4).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -51,6 +51,12 @@ from .sources import RatingEvent
 
 __all__ = ["DeltaStore", "DynamicNomad"]
 
+#: nomadlint NMD001 owner contexts: ``sweep`` dispatches each token
+#: through exactly one worker at a time under the OwnershipLedger;
+#: ``_grow_users``/``_grow_items`` initialize rows that no token or
+#: worker can reference until the growth completes.
+__nomad_owner_contexts__ = ("sweep", "_grow_users", "_grow_items")
+
 #: Initial row capacity headroom when a factor matrix first grows.
 _MIN_CAPACITY = 8
 

@@ -1,0 +1,23 @@
+"""NMD002 negative fixture: closure state mediated by an Event + Queue."""
+
+import queue
+import threading
+
+
+def tally(work_items):
+    results: queue.SimpleQueue = queue.SimpleQueue()
+    stop = threading.Event()
+    totals = []
+
+    def crunch():
+        for item in work_items:
+            if stop.is_set():
+                return
+            totals.append(item * 2)
+        results.put(len(totals))
+
+    thread = threading.Thread(target=crunch)
+    thread.start()
+    thread.join()
+    stop.set()
+    return results.get_nowait()

@@ -1,0 +1,16 @@
+"""NMD002 positive fixture: thread closure mutates unmediated state."""
+
+import threading
+
+
+def tally(work_items):
+    totals = []
+
+    def crunch():
+        for item in work_items:
+            totals.append(item * 2)  # shared list, no Event/Queue anywhere
+
+    thread = threading.Thread(target=crunch)  # NMD002
+    thread.start()
+    thread.join()
+    return totals

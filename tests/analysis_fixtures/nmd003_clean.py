@@ -1,0 +1,28 @@
+"""NMD003 negative fixture: the PR 4 fix shape — create inside the
+guarded region, unlink every block in the finally."""
+
+from multiprocessing import shared_memory
+
+
+def release_blocks(blocks):
+    for shm in blocks:
+        try:
+            shm.close()
+        except OSError:
+            pass
+        try:
+            shm.unlink()
+        except OSError:
+            pass
+
+
+def allocate(w_bytes, h_bytes):
+    blocks = []
+    try:
+        shm_w = shared_memory.SharedMemory(create=True, size=w_bytes)
+        blocks.append(shm_w)
+        shm_h = shared_memory.SharedMemory(create=True, size=h_bytes)
+        blocks.append(shm_h)
+        return shm_w.name, shm_h.name
+    finally:
+        release_blocks(blocks)

@@ -1,0 +1,19 @@
+"""NMD003 positive fixture: the PR 4 MultiprocessNomad leak, verbatim.
+
+The original bug: the W block was created *before* the guarded region,
+so a failure allocating the H block (or any later exception) leaked the
+first block into /dev/shm until reboot.  The ``finally`` below closes
+but never unlinks — exactly the gap the fix addressed.
+"""
+
+from multiprocessing import shared_memory
+
+
+def allocate(w_bytes, h_bytes):
+    shm_w = shared_memory.SharedMemory(create=True, size=w_bytes)  # NMD003
+    shm_h = shared_memory.SharedMemory(create=True, size=h_bytes)  # NMD003
+    try:
+        return shm_w.name, shm_h.name
+    finally:
+        shm_w.close()  # closed, but never unlinked: the block survives
+        shm_h.close()

@@ -1,0 +1,32 @@
+"""NMD004 negative fixture: every acquisition path has a close."""
+
+import socket
+
+
+class PoliteTransport:
+    """Owns its server socket and releases it in close()."""
+
+    def __init__(self, host, port):
+        self._server = socket.create_server((host, port))
+
+    def close(self):
+        self._server.close()
+
+
+def make_transport(host, port):
+    return PoliteTransport(host, port)  # ownership transfers to the caller
+
+
+def probe(host, port):
+    with socket.create_connection((host, port)) as conn:
+        conn.sendall(b"ping")
+        return conn.recv(4)
+
+
+def probe_finally(host, port):
+    conn = socket.create_connection((host, port))
+    try:
+        conn.sendall(b"ping")
+        return conn.recv(4)
+    finally:
+        conn.close()

@@ -1,0 +1,16 @@
+"""NMD004 positive fixture: sockets and transports that can never close."""
+
+import socket
+
+
+class SilentTransport:
+    """Holds a server socket but defines no close()/__exit__."""
+
+    def __init__(self, host, port):
+        self._server = socket.create_server((host, port))  # NMD004
+
+
+def probe(host, port):
+    conn = socket.create_connection((host, port))  # NMD004
+    conn.sendall(b"ping")
+    return conn.recv(4)

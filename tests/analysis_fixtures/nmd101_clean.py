@@ -1,0 +1,30 @@
+"""NMD101 negative fixture: narrow excepts, logged or re-raised broads."""
+
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def parse_all(lines):
+    out = []
+    for line in lines:
+        try:
+            out.append(int(line))
+        except ValueError:
+            continue
+    return out
+
+
+def logged_guard(fn):
+    try:
+        return fn()
+    except Exception:
+        log.exception("best-effort call failed")
+        return None
+
+
+def annotate_and_raise(fn):
+    try:
+        return fn()
+    except Exception as exc:
+        raise RuntimeError("wrapped") from exc

@@ -1,0 +1,19 @@
+"""NMD102 negative fixture: None sentinels and immutable defaults."""
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+def index(pairs, table=None):
+    table = dict(table or {})
+    for key, value in pairs:
+        table[key] = value
+    return table
+
+
+def window(items, size=8, pad=()):
+    return [tuple(items[i : i + size]) + pad for i in range(0, len(items), size)]

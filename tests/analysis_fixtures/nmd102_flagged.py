@@ -1,0 +1,20 @@
+"""NMD102 positive fixture: mutable default arguments."""
+
+from collections import defaultdict
+
+
+def collect(item, bucket=[]):  # NMD102
+    bucket.append(item)
+    return bucket
+
+
+def index(pairs, table={}):  # NMD102
+    for key, value in pairs:
+        table[key] = value
+    return table
+
+
+def group(items, groups=defaultdict(list)):  # NMD102
+    for item in items:
+        groups[item % 2].append(item)
+    return groups

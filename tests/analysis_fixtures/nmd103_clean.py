@@ -1,0 +1,17 @@
+"""NMD103 negative fixture: explicit seeded generators only."""
+
+import random
+
+import numpy as np
+
+_RNG = np.random.default_rng(1234)
+_PY_RNG = random.Random(1234)
+
+JITTER = _PY_RNG.random()
+
+NOISE = _RNG.standard_normal(4)
+
+
+def sample(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, n, size=n)

@@ -1,0 +1,11 @@
+"""NMD103 positive fixture: unseeded module-level RNG draws."""
+
+import random
+
+import numpy as np
+
+JITTER = random.random()  # NMD103: global RNG at import time
+
+NOISE = np.random.randn(4)  # NMD103: legacy numpy global RNG
+
+SHUFFLE_SEED = random.randint(0, 2**31 - 1)  # NMD103

@@ -1,0 +1,8 @@
+"""NMD104 negative fixture: this path ends in ``runtime/multiprocess.py``,
+the sanctioned fork site, so the fork-context request is allowed."""
+
+import multiprocessing as mp
+
+
+def make_context():
+    return mp.get_context("fork")  # sanctioned: runtime/multiprocess.py

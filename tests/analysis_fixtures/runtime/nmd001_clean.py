@@ -1,0 +1,20 @@
+"""NMD001 negative fixture: every factor write sits in an owner context."""
+
+__nomad_owner_contexts__ = ("worker", "grow")
+
+
+def worker(backend, w, h, token, users, ratings, counts, hyper):
+    h[token] = h[token] * 0.5 + 0.5 * h[token]
+    return backend.process_column(
+        w, h[token], users, ratings, counts,
+        hyper.alpha, hyper.beta, hyper.lambda_,
+    )
+
+
+def grow(h, first_new, rows):
+    for offset, row in enumerate(rows):
+        h[first_new + offset] = row
+
+
+def diagnostics(h, j):
+    return float(h[j].sum())  # reads are always fine

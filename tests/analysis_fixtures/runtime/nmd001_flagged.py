@@ -1,0 +1,25 @@
+"""NMD001 positive fixture: a non-owner ``h_j`` write.
+
+This is the regression the rule exists for — a helper in a substrate
+module writing an item factor row while some worker may own its token.
+The module declares owner contexts, but ``rebalance`` is not one of
+them; ``sneaky_update`` routes the mutation through the kernel backend,
+which mutates W/h_j in place just the same.
+"""
+
+__nomad_owner_contexts__ = ("worker",)
+
+
+def worker(h, token, payload):
+    h[token] = payload  # owner-guarded: this is the dispatch loop
+
+
+def rebalance(h, j, mean_row):
+    h[j] = mean_row  # NMD001: writer does not hold token j
+
+
+def sneaky_update(backend, w, h, j, users, ratings, counts, hyper):
+    return backend.process_column(  # NMD001: same invariant, via kernel
+        w, h[j], users, ratings, counts,
+        hyper.alpha, hyper.beta, hyper.lambda_,
+    )

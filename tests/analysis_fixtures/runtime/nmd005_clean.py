@@ -1,0 +1,19 @@
+"""NMD005 negative fixture: monotonic clocks for measurement, wall clock
+reserved for display is fine only outside timing segments (not used here)."""
+
+import time
+
+
+def timed_sweep(backend):
+    start = time.perf_counter()
+    backend.sweep()
+    return time.perf_counter() - start
+
+
+def deadline_wait(event, seconds):
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        if event.is_set():
+            return True
+        time.sleep(0.01)
+    return False

@@ -1,0 +1,9 @@
+"""NMD005 positive fixture: wall-clock timing inside a runtime/ module."""
+
+import time
+
+
+def timed_sweep(backend):
+    start = time.time()  # NMD005: wall clock jumps under NTP slew
+    backend.sweep()
+    return time.time() - start  # NMD005

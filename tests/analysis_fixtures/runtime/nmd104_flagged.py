@@ -1,0 +1,13 @@
+"""NMD104 positive fixture: fork context requested outside the one
+sanctioned site (src/repro/runtime/multiprocess.py)."""
+
+import multiprocessing as mp
+
+
+def make_pool(workers):
+    ctx = mp.get_context("fork")  # NMD104
+    return ctx.Pool(workers)
+
+
+def configure():
+    mp.set_start_method("fork", force=True)  # NMD104

@@ -1,0 +1,21 @@
+"""Suppression fixture: every violation carries a reasoned suppression,
+so the file analyzes clean (zero live findings, three silenced)."""
+
+
+def collect(item, bucket=[]):  # nomadlint: ignore[NMD102]: intentional shared accumulator for the demo
+    bucket.append(item)
+    return bucket
+
+
+def best_effort(fn):
+    try:
+        return fn()
+    # nomadlint: ignore[NMD101]: probe failures are expected and uninteresting
+    except Exception:
+        return None
+
+
+def multi(fn, log=[], cache={}):  # nomadlint: ignore[NMD102, NMD101]: fixture exercising multi-code suppression on one line
+    log.append(fn())
+    cache[len(log)] = fn
+    return log

@@ -7,7 +7,6 @@ deliberately use *small* matrices — the heavy paper-scale runs live in
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.config import HyperParams, RunConfig

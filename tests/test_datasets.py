@@ -11,7 +11,6 @@ from repro.datasets.distributions import (
     power_law_degrees,
 )
 from repro.datasets.loaders import load_npz, load_text, save_npz, save_text
-from repro.datasets.ratings import RatingMatrix
 from repro.datasets.registry import PROFILES, load_profile, paper_statistics
 from repro.datasets.synthetic import (
     SyntheticSpec,

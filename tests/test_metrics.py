@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigError, SimulationError
-from repro.linalg.factors import FactorPair, init_factors
+from repro.linalg.factors import init_factors
 from repro.metrics.monitor import ConvergenceMonitor
 from repro.metrics.summary import (
     speedup_efficiency,

@@ -14,7 +14,7 @@ from repro.core.load_balance import (
 from repro.core.nomad import NomadOptions, NomadSimulation
 from repro.core.serializability import is_serializable, serial_order
 from repro.core.tokens import ItemToken
-from repro.errors import ConfigError, SimulationError
+from repro.errors import ConfigError
 from repro.linalg.factors import init_factors
 from repro.rng import RngFactory
 from repro.simulator.cluster import Cluster

@@ -8,8 +8,6 @@ import pytest
 
 import repro
 from repro.config import HyperParams, RunConfig
-from repro.datasets.ratings import RatingMatrix
-from repro.datasets.synthetic import SyntheticSpec, make_low_rank
 from repro.errors import ConfigError, DataError
 from repro.linalg.objective import test_rmse as rmse_of
 from repro.rng import RngFactory
