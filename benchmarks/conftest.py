@@ -12,6 +12,7 @@ cited in EXPERIMENTS.md can be regenerated with
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -20,6 +21,19 @@ from repro.experiments.figures import run_experiment
 from repro.experiments.report import render_result
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def write_bench_json(path: str, payload: dict) -> None:
+    """Write one BENCH payload deterministically.
+
+    Keys are sorted and a trailing newline is emitted, so regenerating an
+    unchanged benchmark yields a byte-identical file — ``git diff`` on
+    ``results/*.json`` then shows only genuine measurement changes.
+    """
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def bench_scale() -> str:

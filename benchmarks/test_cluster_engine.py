@@ -14,8 +14,9 @@ Run with the rest of the benchmark suite; scale via ``REPRO_BENCH_SCALE``
 
 from __future__ import annotations
 
-import json
 import os
+
+from conftest import write_bench_json
 
 from repro.api import fit
 from repro.config import RunConfig
@@ -74,8 +75,7 @@ def test_cluster_engine_throughput(bench_env):
         "dataset": "netflix-surrogate",
         "results": cells,
     }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
+    write_bench_json(path, payload)
 
     print()
     header = (

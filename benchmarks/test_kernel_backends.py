@@ -1,10 +1,15 @@
 """Micro-benchmark: updates/sec per kernel backend per latent dimension.
 
 Times the two hot kernel variants (NOMAD's column loop and the baselines'
-entries loop) on each registered backend for k ∈ {8, 32, 100} and records
-the updates/sec matrix to ``results/kernel_backends.json`` (BENCH json).
-This is the perf baseline future backends (numba, Cython, GPU) and the
-``AUTO_NUMPY_MIN_K`` auto-selection crossover are judged against.
+entries loop) plus the fused column-batch entry point on each *usable*
+registered backend for k ∈ {8, 32, 100} and records the updates/sec
+matrix to ``results/kernel_backends.json`` (BENCH json, deterministic
+key order).  This is the perf baseline future backends (numba, Cython,
+GPU) and the ``AUTO_NUMPY_MIN_K`` auto-selection crossover are judged
+against; the compiled ``cext`` backend is benchmarked whenever a C
+toolchain is present (and must beat the best interpreted backend by
+>= 10x on the column kernel at every k — the acceptance bar of the
+compiled-kernel work).
 
 Run with the rest of the benchmark suite; scale via ``REPRO_BENCH_SCALE``
 (``tiny`` shortens the timed window for smoke passes).
@@ -12,22 +17,39 @@ Run with the rest of the benchmark suite; scale via ``REPRO_BENCH_SCALE``
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
 import numpy as np
 
-from repro.linalg.backends import BACKENDS, get_backend
+from conftest import write_bench_json
+
+from repro.linalg.backends import BACKENDS, cext_available, get_backend
 from repro.linalg.factors import FactorPair
 
 LATENT_DIMS = [8, 32, 100]
 N_USERS = 400
 NNZ = 256
+#: Columns per fused process_column_batch call.
+BATCH_COLS = 8
 ALPHA, BETA, LAMBDA = 0.012, 0.05, 0.05
 
 #: Minimum timed window per (backend, variant, k) cell, seconds.
 _WINDOWS = {"tiny": 0.01, "small": 0.05, "medium": 0.2}
+
+VARIANTS = ("column", "column_batch", "entries")
+
+#: Factor of the compiled backend's required lead over the best
+#: interpreted backend on the column kernel.
+CEXT_SPEEDUP_FLOOR = 10.0
+
+
+def _usable_backends() -> list[str]:
+    return [
+        name
+        for name in sorted(BACKENDS)
+        if name != "cext" or cext_available()
+    ]
 
 
 def _fixture(k: int):
@@ -65,9 +87,25 @@ def _bench_backend(name: str, k: int, window: float) -> dict[str, float]:
     counts_ent = [0] * NNZ if isinstance(w, list) else np.zeros(NNZ, np.int64)
     h_col = backend.row(h, 0)
 
+    # The fused variant runs the same NNZ entries as one call over
+    # BATCH_COLS columns (distinct h rows, disjoint slices of the users/
+    # ratings/counts arrays), mirroring a drained token burst.
+    per_col = NNZ // BATCH_COLS
+    bounds = [(j * per_col, (j + 1) * per_col) for j in range(BATCH_COLS)]
+    batch_h = [backend.row(h, j % (NNZ // 4)) for j in range(BATCH_COLS)]
+    batch_users = [users_arg[lo:hi] for lo, hi in bounds]
+    batch_vals = [vals_arg[lo:hi] for lo, hi in bounds]
+    batch_counts = [counts_col[lo:hi] for lo, hi in bounds]
+
     def column_once():
         return backend.process_column(
             w, h_col, users_arg, vals_arg, counts_col, ALPHA, BETA, LAMBDA
+        )
+
+    def column_batch_once():
+        return backend.process_column_batch(
+            w, batch_h, batch_users, batch_vals, batch_counts,
+            ALPHA, BETA, LAMBDA,
         )
 
     def entries_once():
@@ -78,6 +116,7 @@ def _bench_backend(name: str, k: int, window: float) -> dict[str, float]:
 
     return {
         "column": _rate(column_once, window),
+        "column_batch": _rate(column_batch_once, window),
         "entries": _rate(entries_once, window),
     }
 
@@ -86,9 +125,10 @@ def test_kernel_backend_throughput(bench_env):
     """Record the updates/sec comparison and sanity-check every cell."""
     results_dir, scale = bench_env
     window = _WINDOWS.get(scale, 0.05)
+    names = _usable_backends()
     cells = []
     for k in LATENT_DIMS:
-        for name in sorted(BACKENDS):
+        for name in names:
             rates = _bench_backend(name, k, window)
             for variant, rate in rates.items():
                 cells.append(
@@ -100,7 +140,6 @@ def test_kernel_backend_throughput(bench_env):
                     }
                 )
 
-    os.makedirs(results_dir, exist_ok=True)
     path = os.path.join(results_dir, "kernel_backends.json")
     payload = {
         "benchmark": "kernel_backends",
@@ -108,23 +147,44 @@ def test_kernel_backend_throughput(bench_env):
         "scale": scale,
         "n_users": N_USERS,
         "nnz": NNZ,
+        "batch_cols": BATCH_COLS,
         "results": cells,
     }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
+    write_bench_json(path, payload)
+
+    def rate_of(name: str, variant: str, k: int) -> float:
+        return next(
+            cell["updates_per_sec"]
+            for cell in cells
+            if cell["backend"] == name
+            and cell["variant"] == variant
+            and cell["k"] == k
+        )
 
     print()
-    print(f"{'backend':>8} {'variant':>8} " +
+    print(f"{'backend':>8} {'variant':>12} " +
           " ".join(f"k={k:<10}" for k in LATENT_DIMS))
-    for name in sorted(BACKENDS):
-        for variant in ("column", "entries"):
-            row = [
-                cell["updates_per_sec"]
-                for cell in cells
-                if cell["backend"] == name and cell["variant"] == variant
-            ]
-            print(f"{name:>8} {variant:>8} " +
+    for name in names:
+        for variant in VARIANTS:
+            row = [rate_of(name, variant, k) for k in LATENT_DIMS]
+            print(f"{name:>8} {variant:>12} " +
                   " ".join(f"{rate:<12,.0f}" for rate in row))
 
     assert all(cell["updates_per_sec"] > 0 for cell in cells)
-    assert len(cells) == len(LATENT_DIMS) * len(BACKENDS) * 2
+    assert len(cells) == len(LATENT_DIMS) * len(names) * len(VARIANTS)
+
+    if "cext" in names:
+        # The compiled backend's acceptance bar: >= 10x the best
+        # interpreted backend on the column kernel at every k.
+        for k in LATENT_DIMS:
+            interpreted = max(
+                rate_of(name, "column", k)
+                for name in names
+                if name != "cext"
+            )
+            compiled = rate_of("cext", "column", k)
+            assert compiled >= CEXT_SPEEDUP_FLOOR * interpreted, (
+                f"cext column kernel at k={k}: {compiled:,.0f} upd/s is "
+                f"less than {CEXT_SPEEDUP_FLOOR}x the best interpreted "
+                f"rate {interpreted:,.0f}"
+            )

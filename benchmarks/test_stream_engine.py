@@ -21,11 +21,12 @@ host transports, GPU kernels) is judged against.  Scale via
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
 import numpy as np
+
+from conftest import write_bench_json
 
 from repro.api import fit_stream
 from repro.config import HyperParams, RunConfig
@@ -144,8 +145,7 @@ def test_stream_engine(bench_env):
     }
     os.makedirs(results_dir, exist_ok=True)
     path = os.path.join(results_dir, "streaming.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
+    write_bench_json(path, payload)
 
     print()
     print(

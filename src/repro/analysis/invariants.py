@@ -36,6 +36,7 @@ from .rules import INVARIANT_TIER, Rule, register_rule
 __all__ = [
     "FACTOR_NAMES",
     "FACTOR_SEGMENTS",
+    "KERNEL_CALLS",
     "OWNER_DECLARATION",
     "TIMING_SEGMENTS",
 ]
@@ -48,6 +49,12 @@ FACTOR_SEGMENTS = frozenset({"runtime", "cluster", "stream"})
 
 #: Module-level dunder declaring the owner-guarded function allowlist.
 OWNER_DECLARATION = "__nomad_owner_contexts__"
+
+#: Kernel entry points that mutate W and the token's h_j in place — a
+#: call to any of them is a factor write for NMD001 purposes.
+KERNEL_CALLS = frozenset(
+    {"process_column", "process_column_loss", "process_column_batch"}
+)
 
 #: Path segments whose modules feed reported timings (wall/join splits,
 #: prequential stamps, monitor deadlines).
@@ -157,12 +164,13 @@ class FactorWriteOutsideOwnerContext(Rule):
                     ):
                         yield flag(node, f"store into factor matrix {base!r}")
             elif isinstance(node, ast.Call):
-                if terminal_name(node.func) != "process_column":
+                called = terminal_name(node.func)
+                if called not in KERNEL_CALLS:
                     continue
                 if not allowed & set(module.enclosing_function_names(node)):
                     yield flag(
                         node,
-                        "process_column call (mutates W and h_j in place)",
+                        f"{called} call (mutates W and h_j in place)",
                     )
 
 

@@ -110,6 +110,7 @@ def run_simulated(request: FitRequest) -> FitResult:
             updates_per_worker=None,
         ),
         raw=simulation,
+        kernel_backend=getattr(simulation, "kernel_backend", None),
     )
 
 
@@ -132,7 +133,11 @@ def _reject_simulated_only(
 
 
 def _live_result(
-    request: FitRequest, n_workers: int, seed: int, outcome: RuntimeResult
+    request: FitRequest,
+    n_workers: int,
+    seed: int,
+    outcome: RuntimeResult,
+    kernel_backend: str | None = None,
 ) -> FitResult:
     """Fold a :class:`RuntimeResult` into the uniform :class:`FitResult`.
 
@@ -173,6 +178,7 @@ def _live_result(
             updates_per_worker=tuple(outcome.updates_per_worker),
         ),
         raw=outcome,
+        kernel_backend=kernel_backend,
     )
 
 
@@ -188,7 +194,10 @@ def run_threaded(request: FitRequest) -> FitResult:
         request.train, request.test, n_workers, request.hyper,
         run=request.run, init_factors=request.factors,
     )
-    return _live_result(request, n_workers, runner.seed, runner.run())
+    return _live_result(
+        request, n_workers, runner.seed, runner.run(),
+        kernel_backend=runner.backend.name,
+    )
 
 
 def run_multiprocess(request: FitRequest) -> FitResult:
@@ -203,7 +212,10 @@ def run_multiprocess(request: FitRequest) -> FitResult:
         request.train, request.test, n_workers, request.hyper,
         run=request.run, init_factors=request.factors,
     )
-    return _live_result(request, n_workers, runner.seed, runner.run())
+    return _live_result(
+        request, n_workers, runner.seed, runner.run(),
+        kernel_backend=runner.backend.name,
+    )
 
 
 #: Engine-specific ``fit(...)`` keywords the cluster runner consumes.
@@ -226,7 +238,10 @@ def run_cluster(request: FitRequest) -> FitResult:
         request.train, request.test, n_workers, request.hyper,
         run=request.run, init_factors=request.factors, **request.extra,
     )
-    return _live_result(request, n_workers, runner.seed, runner.run())
+    return _live_result(
+        request, n_workers, runner.seed, runner.run(),
+        kernel_backend=runner.backend.name,
+    )
 
 
 register_engine(

@@ -97,6 +97,12 @@ class FitResult:
         instance (update logs, hop counters, queue diagnostics) or the
         runtime's :class:`~repro.runtime.result.RuntimeResult`.  Excluded
         from ``repr`` to keep results printable.
+    kernel_backend:
+        Name of the SGD kernel backend the run actually executed on
+        (``"list"``/``"numpy"``/``"cext"``) — i.e. what ``"auto"``
+        resolved to, so a benchmark result records which inner loop
+        produced it.  ``None`` for engines that predate the field or
+        algorithms with no SGD inner loop.
     """
 
     algorithm: str
@@ -105,6 +111,7 @@ class FitResult:
     factors: FactorPair
     timing: FitTiming
     raw: object = field(default=None, repr=False)
+    kernel_backend: str | None = None
     _model: CompletionModel | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -131,9 +138,12 @@ class FitResult:
             else f"{timing.wall_seconds:.3g} s wall "
             f"(+{timing.join_seconds:.3g} s shutdown)"
         )
+        kernel = (
+            f" [{self.kernel_backend} kernels]" if self.kernel_backend else ""
+        )
         return (
             f"{self.algorithm} on {self.engine}: {timing.updates:,} updates "
-            f"in {clock}, final test RMSE {self.final_rmse():.4f}"
+            f"in {clock}, final test RMSE {self.final_rmse():.4f}{kernel}"
         )
 
 

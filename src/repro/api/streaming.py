@@ -143,6 +143,7 @@ def run_dynamic(request: FitRequest) -> FitResult:
             updates_per_worker=tuple(dynamic.updates_per_worker),
         ),
         raw=dynamic,
+        kernel_backend=dynamic.backend.name,
     )
 
 
@@ -281,6 +282,7 @@ def run_dynamic_stream(request: StreamRequest) -> StreamResult:
             updates_per_worker=tuple(dynamic.updates_per_worker),
         ),
         raw=dynamic,
+        kernel_backend=dynamic.backend.name,
     )
     return StreamResult(
         algorithm=request.algorithm.name,

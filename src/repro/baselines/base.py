@@ -122,6 +122,11 @@ class ClockedOptimizer(abc.ABC):
         """Work units (SGD updates or equivalent) applied so far."""
         return self._updates
 
+    @property
+    def kernel_backend(self) -> str:
+        """Resolved kernel backend name (e.g. ``"list"``/``"cext"``)."""
+        return self._backend.name
+
     # ------------------------------------------------------------------
     # Subclass interface
     # ------------------------------------------------------------------

@@ -38,6 +38,7 @@ from .errors import ConfigError, ReproError
 from .experiments.figures import EXPERIMENT_REGISTRY, run_experiment
 from .experiments.harness import build_dataset, make_cluster
 from .experiments.report import render_result, result_to_csv_dir
+from .linalg.backends import BACKENDS, cext_unavailable_reason
 from .stream import DriftStream, ReplayStream
 
 __all__ = ["main", "build_parser"]
@@ -262,13 +263,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _print_fit_matrix() -> None:
-    """The (algorithm, engine) support matrix, one line per algorithm."""
+    """The (algorithm, engine) support matrix, one line per algorithm,
+    plus the kernel-backend availability table for this box."""
     pairs = supported_pairs()
     width = max(len(name) for name in ALGORITHMS)
     print(f"{'algorithm':<{width}}  engines")
     for name in sorted(ALGORITHMS):
         engines = ", ".join(e for a, e in pairs if a == name)
         print(f"{name:<{width}}  {engines}")
+    print()
+    print("kernel backend  availability")
+    for name in sorted(BACKENDS):
+        if name == "cext":
+            reason = cext_unavailable_reason()
+            status = "available" if reason is None else f"unavailable ({reason})"
+        else:
+            status = "available"
+        print(f"{name:<14}  {status}")
 
 
 def _run_fit(args: argparse.Namespace) -> int:

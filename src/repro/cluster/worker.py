@@ -171,16 +171,34 @@ def run_worker(
                 break
             continue
 
+        # Pop one burst of tokens, run them through a single fused kernel
+        # call, then route.  The pop count is fixed before any self-hop
+        # re-append, so exactly the tokens the unbatched loop would have
+        # processed are processed, in the same order; each token's §3.3
+        # queue hint is stamped at its pop, when the depth is observed.
+        burst: list[wire.Token] = []
         for _ in range(min(len(inbox), _BURST)):
             token = inbox.popleft()
+            token.queue_hint = len(inbox)
+            burst.append(token)
+        h_cols: list = []
+        col_users: list = []
+        col_ratings: list = []
+        col_counts: list = []
+        for token in burst:
             users, ratings = shard.column(token.item)
             if users.size:
                 lo, hi = shard.column_bounds(token.item)
-                updates += backend.process_column(
-                    w, token.h, users, ratings, counts[lo:hi],
-                    hyper.alpha, hyper.beta, hyper.lambda_,
-                )
-            token.queue_hint = len(inbox)
+                h_cols.append(token.h)
+                col_users.append(users)
+                col_ratings.append(ratings)
+                col_counts.append(counts[lo:hi])
+        if h_cols:
+            updates += backend.process_column_batch(
+                w, h_cols, col_users, col_ratings, col_counts,
+                hyper.alpha, hyper.beta, hyper.lambda_,
+            )
+        for token in burst:
             dest = routing.randrange(spec.n_workers)
             if dest == spec.worker_id:
                 inbox.append(token)  # a self-hop is a local queue push (§3.4)

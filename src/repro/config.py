@@ -100,8 +100,12 @@ class RunConfig:
         RMSE-versus-updates experiments); ``None`` means unlimited.
     kernel_backend:
         SGD kernel execution strategy: ``"list"`` (scalar Python loops,
-        fastest at small k), ``"numpy"`` (k-vectorized ndarray loops,
-        fastest at large k), or ``"auto"`` (pick by latent dimension; see
+        fastest interpreted option at small k), ``"numpy"`` (k-vectorized
+        ndarray loops, fastest interpreted option at large k), ``"cext"``
+        (C kernels compiled at first use; requires a C toolchain and
+        raises :class:`~repro.errors.ConfigError` at configuration time
+        without one), or ``"auto"`` (prefer ``cext`` when usable, else
+        pick an interpreted backend by latent dimension; see
         :func:`repro.linalg.backends.resolve_backend`).  Defaults to the
         ``NOMAD_KERNEL_BACKEND`` environment variable when set, else
         ``"auto"``.

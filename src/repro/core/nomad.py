@@ -245,6 +245,11 @@ class NomadSimulation:
         return self._backend.export(self._w_store, self._h_store)
 
     @property
+    def kernel_backend(self) -> str:
+        """Resolved name of the kernel backend actually running updates."""
+        return self._backend.name
+
+    @property
     def total_updates(self) -> int:
         """SGD updates applied so far."""
         return self._total_updates
@@ -327,12 +332,15 @@ class NomadSimulation:
                     )
                     self._log_seq += 1
             if self.options.loss is None:
-                applied = self._backend.process_column(
+                # One token's column = a batch of one through the fused
+                # entry point (a single discrete event completes here, so
+                # there is never a second column to fuse with).
+                applied = self._backend.process_column_batch(
                     self._w_store,
-                    token.vector,
-                    users,
-                    self._col_ratings[q][j],
-                    counts,
+                    (token.vector,),
+                    (users,),
+                    (self._col_ratings[q][j],),
+                    (counts,),
                     self.hyper.alpha,
                     self.hyper.beta,
                     self.hyper.lambda_,

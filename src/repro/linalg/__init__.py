@@ -14,9 +14,11 @@ from .losses import Loss, SquaredLoss
 from .regularizers import Regularizer, WeightedL2
 from .objective import regularized_objective, test_rmse, predict
 from .backends import (
+    CextBackend,
     KernelBackend,
     ListBackend,
     NumpyBackend,
+    cext_available,
     get_backend,
     resolve_backend,
 )
@@ -40,6 +42,8 @@ __all__ = [
     "KernelBackend",
     "ListBackend",
     "NumpyBackend",
+    "CextBackend",
+    "cext_available",
     "get_backend",
     "resolve_backend",
     "sgd_update_pair",

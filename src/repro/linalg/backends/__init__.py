@@ -2,31 +2,41 @@
 
 One :class:`~repro.linalg.backends.base.KernelBackend` packages the four
 SGD inner-loop variants (column, column-with-loss, entries,
-entries-const-step) behind a single interface; two implementations ship:
+entries-const-step) plus the fused column-batch entry point behind a
+single interface; three implementations ship:
 
 * ``"list"`` — :class:`ListBackend`, scalar Python loops over nested
-  lists; fastest at small latent dimensions where ndarray per-call
-  overhead dominates.
+  lists; fastest *interpreted* option at small latent dimensions where
+  ndarray per-call overhead dominates.
 * ``"numpy"`` — :class:`NumpyBackend`, sequential updates with
-  k-vectorized ndarray arithmetic; fastest at large latent dimensions
-  and the native choice for shared-memory (ndarray) factor storage.
+  k-vectorized ndarray arithmetic; fastest *interpreted* option at large
+  latent dimensions.
+* ``"cext"`` — :class:`CextBackend`, the interpreted cores compiled to C
+  at first use (system ``cc``/``gcc``, cached ``.so``, loaded via
+  ctypes) over ndarray storage; 1–2 orders of magnitude faster at every
+  latent dimension and the only backend whose calls release the GIL.
 
 Selection
 ---------
 Optimizers resolve their backend with :func:`resolve_backend`:
 
-* an explicit name (``"list"`` / ``"numpy"``) always wins;
-* ``"auto"`` (the default) picks by latent dimension — list below
-  ``AUTO_NUMPY_MIN_K``, numpy at or above it — except when the caller
-  declares ndarray storage (the real runtimes), where numpy is native;
+* an explicit name (``"list"`` / ``"numpy"`` / ``"cext"``) always wins —
+  ``"cext"`` raises :class:`~repro.errors.ConfigError` naming the
+  interpreted fallback if no C toolchain is usable;
+* ``"auto"`` (the default) picks ``cext`` whenever a toolchain is
+  present; otherwise it falls back to the interpreted crossover — list
+  below ``AUTO_NUMPY_MIN_K``, numpy at or above it — except when the
+  caller declares ndarray storage (the real runtimes), where numpy is
+  native;
 * the ``NOMAD_KERNEL_BACKEND`` environment variable supplies the default
   for every :class:`~repro.config.RunConfig` that doesn't set
-  ``kernel_backend`` explicitly.
+  ``kernel_backend`` explicitly, and ``NOMAD_CEXT_DISABLE=1`` masks the
+  toolchain (pure-interpreted operation, e.g. for CI fallback runs).
 
 The crossover constant comes from ``benchmarks/test_kernel_backends.py``,
 which records updates/sec per backend for k ∈ {8, 32, 100} into
-``results/kernel_backends.json`` so future backends (numba, Cython, GPU)
-have an honest baseline to beat.
+``results/kernel_backends.json`` so future backends (numba, GPU) have an
+honest baseline to beat.
 """
 
 from __future__ import annotations
@@ -35,6 +45,8 @@ import os
 
 from ...errors import ConfigError
 from .base import KernelBackend
+from .cext_backend import CextBackend
+from .cext_build import cext_available, cext_unavailable_reason
 from .list_backend import ListBackend
 from .numpy_backend import NumpyBackend
 
@@ -42,9 +54,12 @@ __all__ = [
     "KernelBackend",
     "ListBackend",
     "NumpyBackend",
+    "CextBackend",
     "BACKENDS",
     "AUTO_NUMPY_MIN_K",
     "ENV_VAR",
+    "cext_available",
+    "cext_unavailable_reason",
     "get_backend",
     "resolve_backend",
 ]
@@ -53,21 +68,33 @@ __all__ = [
 ENV_VAR = "NOMAD_KERNEL_BACKEND"
 
 #: Latent dimension at which ``"auto"`` switches from list to numpy
-#: kernels (measured crossover is between k≈32 and k≈100 on CPython;
-#: see benchmarks/test_kernel_backends.py).
+#: kernels when the compiled backend is unavailable (measured crossover
+#: is between k≈32 and k≈100 on CPython; see
+#: benchmarks/test_kernel_backends.py).
 AUTO_NUMPY_MIN_K = 64
 
-#: Registry of instantiable backends, keyed by selection name.
+#: Registry of instantiable backends, keyed by selection name.  ``cext``
+#: is always registered — so it is always a *valid* configuration value —
+#: but hands out instances only where a toolchain is usable
+#: (:meth:`CextBackend.ensure_available`).
 BACKENDS: dict[str, type[KernelBackend]] = {
     ListBackend.name: ListBackend,
     NumpyBackend.name: NumpyBackend,
+    CextBackend.name: CextBackend,
 }
 
 _INSTANCES: dict[str, KernelBackend] = {}
 
 
 def get_backend(name: str) -> KernelBackend:
-    """Return the (shared, stateless) backend instance registered as ``name``."""
+    """Return the (shared, stateless) backend instance registered as ``name``.
+
+    Raises :class:`~repro.errors.ConfigError` for unknown names, and for
+    registered backends that are unusable on this box (a backend class
+    may veto every hand-out via an ``ensure_available`` classmethod —
+    this is how ``"cext"`` degrades into a configuration-time error
+    instead of a mid-fit crash when the toolchain is missing).
+    """
     try:
         cls = BACKENDS[name]
     except KeyError:
@@ -76,6 +103,9 @@ def get_backend(name: str) -> KernelBackend:
             f"unknown kernel backend {name!r}; valid values are {valid} "
             f"(settable via RunConfig.kernel_backend or ${ENV_VAR})"
         ) from None
+    ensure = getattr(cls, "ensure_available", None)
+    if ensure is not None:
+        ensure()
     if name not in _INSTANCES:
         _INSTANCES[name] = cls()
     return _INSTANCES[name]
@@ -92,23 +122,31 @@ def resolve_backend(
     Parameters
     ----------
     name:
-        ``"list"``, ``"numpy"``, or ``"auto"``.  ``None`` means "not
-        configured": consult ``$NOMAD_KERNEL_BACKEND``, falling back to
-        ``"auto"`` (this is how the real runtimes honor the env var;
-        :class:`~repro.config.RunConfig` reads it itself).
+        ``"list"``, ``"numpy"``, ``"cext"``, or ``"auto"``.  ``None``
+        means "not configured": consult ``$NOMAD_KERNEL_BACKEND``,
+        falling back to ``"auto"`` (this is how the real runtimes honor
+        the env var; :class:`~repro.config.RunConfig` reads it itself).
     k:
-        Latent dimension steering the ``"auto"`` choice; ``None`` defers
-        to the storage default.
+        Latent dimension steering the interpreted ``"auto"`` fallback;
+        ``None`` defers to the storage default.
     storage:
         ``"list"`` for optimizers that can hold factors in any
         representation, ``"ndarray"`` for callers whose factors must stay
-        ndarrays (shared-memory runtimes) — there ``"auto"`` resolves to
-        the numpy backend regardless of ``k`` because list kernels on
-        ndarray rows pay numpy-scalar overhead per element.
+        ndarrays (shared-memory runtimes) — there the interpreted
+        ``"auto"`` fallback is the numpy backend regardless of ``k``
+        because list kernels on ndarray rows pay numpy-scalar overhead
+        per element.
+
+    ``"auto"`` prefers the compiled backend whenever a toolchain is
+    present (its ndarray storage and GIL-free calls dominate both
+    interpreted backends at every ``k``); the ``k``/``storage`` crossover
+    above only decides the fallback.
     """
     if name is None:
         name = os.environ.get(ENV_VAR, "auto")
     if name == "auto":
+        if cext_available():
+            return get_backend(CextBackend.name)
         if storage == "ndarray":
             return get_backend(NumpyBackend.name)
         if k is not None and k >= AUTO_NUMPY_MIN_K:

@@ -115,6 +115,35 @@ class KernelBackend(abc.ABC):
     ) -> int:
         """Column variant under an arbitrary separable loss (§6)."""
 
+    def process_column_batch(
+        self,
+        w: Any,
+        h_cols: Sequence[Any],
+        col_users: Sequence[Sequence[int]],
+        col_ratings: Sequence[Sequence[float]],
+        col_counts: Sequence[Sequence[int]],
+        alpha: float,
+        beta: float,
+        lambda_: float,
+    ) -> int:
+        """Fused batch of :meth:`process_column` calls (square loss).
+
+        ``h_cols[c]``, ``col_users[c]``, ``col_ratings[c]`` and
+        ``col_counts[c]`` describe one column's token work; columns are
+        processed strictly in sequence, so the result is defined to be
+        identical to looping :meth:`process_column` — which is exactly
+        what this default does, keeping every backend conformant.
+        Compiled backends override it to amortize per-call overhead
+        across a whole burst of tokens in one native call.
+        """
+        applied = 0
+        for index, h_col in enumerate(h_cols):
+            applied += self.process_column(
+                w, h_col, col_users[index], col_ratings[index],
+                col_counts[index], alpha, beta, lambda_,
+            )
+        return applied
+
     @abc.abstractmethod
     def process_entries(
         self,

@@ -47,6 +47,11 @@ __nomad_owner_contexts__ = ("worker",)
 
 _STOP = object()  # queue sentinel telling a worker to drain and exit
 _POLL_SECONDS = 0.02
+#: Max tokens drained per mailbox visit into one fused kernel call.
+#: Batching amortizes per-call overhead (compiled backends run the whole
+#: burst in native code with the GIL released); the cap bounds how long a
+#: worker defers its stop/sentinel checks.
+_BURST_TOKENS = 32
 
 
 class ThreadedResult(RuntimeResult):
@@ -70,12 +75,14 @@ class ThreadedNomad:
         (default) takes ``run.seed`` when a :class:`RunConfig` is given,
         else 0; an explicit value always wins.
     kernel_backend:
-        Kernel backend name (``"auto"``/``"list"``/``"numpy"``); ``None``
-        (default) takes ``run.kernel_backend`` when a run config is
-        given, else consults ``$NOMAD_KERNEL_BACKEND``, then ``"auto"``.
-        The factors live in shared ndarrays here, so ``"auto"`` resolves
-        to the numpy backend; ``"list"`` still runs correctly on the
-        ndarray rows, just slower.
+        Kernel backend name (``"auto"``/``"list"``/``"numpy"``/``"cext"``);
+        ``None`` (default) takes ``run.kernel_backend`` when a run config
+        is given, else consults ``$NOMAD_KERNEL_BACKEND``, then
+        ``"auto"``.  The factors live in shared ndarrays here, so
+        ``"auto"`` resolves to the compiled backend when a toolchain is
+        present (its calls release the GIL, so this runtime then gets
+        true multi-core parallelism) and the numpy backend otherwise;
+        ``"list"`` still runs correctly on the ndarray rows, just slower.
     run:
         Optional :class:`~repro.config.RunConfig`.  Its ``duration`` is
         the wall-clock budget of :meth:`run` (the same field the
@@ -172,24 +179,48 @@ class ThreadedNomad:
                     continue
                 if token is _STOP:
                     return
-                users, ratings = shard.column(token)
-                if users.size:
-                    lo, hi = shard.column_bounds(token)
-                    update_totals[q] += backend.process_column(
+                # Drain waiting tokens (without blocking) into one fused
+                # kernel call per burst.
+                burst = [token]
+                saw_stop = False
+                while len(burst) < _BURST_TOKENS:
+                    try:
+                        extra = mailbox.get_nowait()
+                    except queue.Empty:
+                        break
+                    if extra is _STOP:
+                        saw_stop = True
+                        break
+                    burst.append(extra)
+                h_cols: list = []
+                col_users: list = []
+                col_ratings: list = []
+                col_counts: list = []
+                for token in burst:
+                    users, ratings = shard.column(token)
+                    if users.size:
+                        lo, hi = shard.column_bounds(token)
+                        h_cols.append(h[token])
+                        col_users.append(users)
+                        col_ratings.append(ratings)
+                        col_counts.append(my_counts[lo:hi])
+                if h_cols:
+                    update_totals[q] += backend.process_column_batch(
                         w,
-                        h[token],
-                        users,
-                        ratings,
-                        my_counts[lo:hi],
+                        h_cols,
+                        col_users,
+                        col_ratings,
+                        col_counts,
                         hyper.alpha,
                         hyper.beta,
                         hyper.lambda_,
                     )
-                if stop.is_set():
-                    # Return the token to a mailbox so none is lost.
+                # Route every drained token onward so none is lost, even
+                # when stopping.
+                for token in burst:
                     mailboxes[routing.randrange(self.n_workers)].put(token)
+                if saw_stop or stop.is_set():
                     return
-                mailboxes[routing.randrange(self.n_workers)].put(token)
 
         threads = [
             threading.Thread(target=worker, args=(q,), name=f"nomad-{q}")

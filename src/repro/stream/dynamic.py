@@ -171,7 +171,8 @@ class DynamicNomad:
         Root seed; explicit value beats ``run.seed``, default 0.
     kernel_backend:
         Kernel backend name; factors are ndarray-stored, so ``"auto"``
-        resolves to the numpy backend.
+        resolves to the compiled backend when a toolchain is present and
+        the numpy backend otherwise.
     init_factors:
         Optional warm-start factors validated against the base shape and
         ``hyper.k`` — resuming from a previous run's
@@ -415,6 +416,16 @@ class DynamicNomad:
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
+    def _clamp_counts(self, counts: list[int]) -> None:
+        """Keep the eq-(11) decay floored: counters never pass the cap,
+        so a sweep can clamp just what it touched."""
+        cap = self.count_cap
+        if cap is None:
+            return
+        for offset, count in enumerate(counts):
+            if count > cap:
+                counts[offset] = cap
+
     def sweep(self, max_updates: int | None = None) -> int:
         """Route every token through every worker once; return updates.
 
@@ -440,36 +451,66 @@ class DynamicNomad:
         applied = 0
         hyper = self.hyper
         for r in range(p):
+            if max_updates is not None:
+                # Budgeted path: the halt boundary is per column, so each
+                # column goes through its own kernel call.
+                for j, stops in plan:
+                    stop = stops[r]
+                    if r > 0:
+                        self._ledger.release(j, stops[r - 1])
+                        self._ledger.acquire(j, stop)
+                    if applied >= max_updates:
+                        continue
+                    users = self._col_users[stop][j]
+                    if not users:
+                        continue
+                    counts = self._col_counts[stop][j]
+                    done = self.backend.process_column(
+                        self._w,
+                        self._h[j],
+                        users,
+                        self._col_ratings[stop][j],
+                        counts,
+                        hyper.alpha,
+                        hyper.beta,
+                        hyper.lambda_,
+                    )
+                    self._clamp_counts(counts)
+                    applied += done
+                    self._worker_updates[stop] += done
+                continue
+            # Unbudgeted path: fuse the whole round into one batched
+            # kernel call.  Each (worker, item) column appears at most
+            # once per round and columns run in plan order, so the batch
+            # is update-for-update identical to the per-column loop.
+            round_stops: list[int] = []
+            h_cols: list = []
+            col_users: list = []
+            col_ratings: list = []
+            col_counts: list = []
             for j, stops in plan:
                 stop = stops[r]
                 if r > 0:
                     self._ledger.release(j, stops[r - 1])
                     self._ledger.acquire(j, stop)
-                if max_updates is not None and applied >= max_updates:
-                    continue
                 users = self._col_users[stop][j]
                 if not users:
                     continue
-                counts = self._col_counts[stop][j]
-                done = self.backend.process_column(
-                    self._w,
-                    self._h[j],
-                    users,
-                    self._col_ratings[stop][j],
-                    counts,
-                    hyper.alpha,
-                    hyper.beta,
-                    hyper.lambda_,
+                round_stops.append(stop)
+                h_cols.append(self._h[j])
+                col_users.append(users)
+                col_ratings.append(self._col_ratings[stop][j])
+                col_counts.append(self._col_counts[stop][j])
+            if h_cols:
+                applied += self.backend.process_column_batch(
+                    self._w, h_cols, col_users, col_ratings, col_counts,
+                    hyper.alpha, hyper.beta, hyper.lambda_,
                 )
-                if self.count_cap is not None:
-                    # Keep the eq-(11) decay floored: counters never pass
-                    # the cap, so a sweep can clamp just what it touched.
-                    cap = self.count_cap
-                    for offset, count in enumerate(counts):
-                        if count > cap:
-                            counts[offset] = cap
-                applied += done
-                self._worker_updates[stop] += done
+                for stop, users, counts in zip(
+                    round_stops, col_users, col_counts
+                ):
+                    self._clamp_counts(counts)
+                    self._worker_updates[stop] += len(users)
 
         for j, stops in plan:
             self._ledger.release(j, stops[-1])

@@ -1,12 +1,19 @@
 """NMD001 negative fixture: every factor write sits in an owner context."""
 
-__nomad_owner_contexts__ = ("worker", "grow")
+__nomad_owner_contexts__ = ("worker", "worker_burst", "grow")
 
 
 def worker(backend, w, h, token, users, ratings, counts, hyper):
     h[token] = h[token] * 0.5 + 0.5 * h[token]
     return backend.process_column(
         w, h[token], users, ratings, counts,
+        hyper.alpha, hyper.beta, hyper.lambda_,
+    )
+
+
+def worker_burst(backend, w, h_cols, col_users, col_ratings, col_counts, hyper):
+    return backend.process_column_batch(
+        w, h_cols, col_users, col_ratings, col_counts,
         hyper.alpha, hyper.beta, hyper.lambda_,
     )
 

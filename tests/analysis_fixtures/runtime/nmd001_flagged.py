@@ -23,3 +23,10 @@ def sneaky_update(backend, w, h, j, users, ratings, counts, hyper):
         w, h[j], users, ratings, counts,
         hyper.alpha, hyper.beta, hyper.lambda_,
     )
+
+
+def sneaky_batch(backend, w, h_cols, col_users, col_ratings, col_counts, hyper):
+    return backend.process_column_batch(  # NMD001: fused kernel, same rule
+        w, h_cols, col_users, col_ratings, col_counts,
+        hyper.alpha, hyper.beta, hyper.lambda_,
+    )

@@ -49,7 +49,7 @@ ALL_CODES = (
 
 #: rule code -> (flagged fixture, expected finding count, clean fixture)
 FIXTURE_PAIRS = {
-    "NMD001": ("runtime/nmd001_flagged.py", 2, "runtime/nmd001_clean.py"),
+    "NMD001": ("runtime/nmd001_flagged.py", 3, "runtime/nmd001_clean.py"),
     "NMD002": ("nmd002_flagged.py", 1, "nmd002_clean.py"),
     "NMD003": ("nmd003_flagged.py", 2, "nmd003_clean.py"),
     "NMD004": ("nmd004_flagged.py", 2, "nmd004_clean.py"),
@@ -161,7 +161,7 @@ class TestAcceptanceCriteria:
     def test_nmd001_catches_non_owner_factor_write(self):
         report = analyze_fixture("runtime/nmd001_flagged.py")
         symbols = {f.symbol for f in report.ratchet.new}
-        assert symbols == {"rebalance", "sneaky_update"}
+        assert symbols == {"rebalance", "sneaky_update", "sneaky_batch"}
         # The owner-guarded write in worker() is not flagged.
         assert "worker" not in symbols
 

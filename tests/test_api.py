@@ -22,6 +22,7 @@ from repro.api.result import FitResult, FitTiming
 from repro.config import HyperParams, RunConfig
 from repro.core.nomad import NomadOptions, NomadSimulation
 from repro.errors import ConfigError
+from repro.linalg.backends import BACKENDS
 from repro.model import CompletionModel
 from repro.runtime.result import RuntimeResult
 from repro.simulator.cluster import Cluster
@@ -276,6 +277,7 @@ class TestFitLiveEngines:
             result.final_rmse()
         )
         assert isinstance(result.raw, RuntimeResult)
+        assert result.kernel_backend in ("numpy", "cext")
         assert np.isfinite(result.model.predict_one(0, 0))
 
     def test_default_run_uses_runtime_one_second_budget(self, tiny_split):
@@ -382,6 +384,14 @@ class TestFitResultShape:
         train, test = tiny_split
         result = fit(train, test, hyper=HYPER, run=SIM_RUN)
         assert "raw=" not in repr(result)
+
+    def test_kernel_backend_recorded(self, tiny_split):
+        """The result names the backend 'auto' actually resolved to,
+        and the summary line repeats it."""
+        train, test = tiny_split
+        result = fit(train, test, hyper=HYPER, run=SIM_RUN)
+        assert result.kernel_backend in BACKENDS
+        assert f"[{result.kernel_backend} kernels]" in result.summary()
 
     def test_updates_per_second_prefers_simulated_clock(self):
         timing = FitTiming(

@@ -21,8 +21,10 @@ from repro.errors import ConfigError
 from repro.linalg.backends import (
     AUTO_NUMPY_MIN_K,
     BACKENDS,
+    CextBackend,
     ListBackend,
     NumpyBackend,
+    cext_available,
     get_backend,
     resolve_backend,
 )
@@ -34,6 +36,21 @@ from repro.simulator.network import HPC_PROFILE
 ATOL = 1e-10
 
 ALPHA, BETA, LAMBDA = 0.1, 0.02, 0.05
+
+needs_cext = pytest.mark.skipif(
+    not cext_available(), reason="no usable C toolchain (cext unavailable)"
+)
+
+#: Backends compared against the list reference in the equivalence suite;
+#: ``cext`` rows skip cleanly where the toolchain is absent.
+OTHER_BACKENDS = ["numpy", pytest.param("cext", marks=needs_cext)]
+
+#: Every backend expected to run on this box (storage/selection tests).
+def _available_backends() -> list[str]:
+    names = ["list", "numpy"]
+    if cext_available():
+        names.append("cext")
+    return names
 
 
 def _fixture(seed: int, m: int = 12, n: int = 8, k: int = 5, nnz: int = 30):
@@ -48,24 +65,25 @@ def _fixture(seed: int, m: int = 12, n: int = 8, k: int = 5, nnz: int = 30):
     return w, h, rows, cols, vals, order
 
 
-def _stores(w: np.ndarray, h: np.ndarray):
+def _stores(w: np.ndarray, h: np.ndarray, other: str):
     pair = FactorPair(w.copy(), h.copy())
-    return ListBackend().make_store(pair), NumpyBackend().make_store(pair)
+    return ListBackend().make_store(pair), get_backend(other).make_store(pair)
 
 
 class TestKernelEquivalence:
-    """ListBackend and NumpyBackend agree on all four kernel variants."""
+    """Every backend agrees with the list reference on all kernel variants."""
 
-    def test_process_column(self):
+    @pytest.mark.parametrize("other", OTHER_BACKENDS)
+    def test_process_column(self, other):
         w, h, rows, _, vals, _ = _fixture(0)
-        (w_l, h_l), (w_n, h_n) = _stores(w, h)
+        (w_l, h_l), (w_n, h_n) = _stores(w, h, other)
         counts_l = [3] * len(rows)
         counts_n = np.full(len(rows), 3, dtype=np.int64)
         a = ListBackend().process_column(
             w_l, h_l[2], rows.tolist(), vals.tolist(), counts_l,
             ALPHA, BETA, LAMBDA,
         )
-        b = NumpyBackend().process_column(
+        b = get_backend(other).process_column(
             w_n, h_n[2], rows, vals, counts_n, ALPHA, BETA, LAMBDA
         )
         assert a == b == len(rows)
@@ -73,9 +91,10 @@ class TestKernelEquivalence:
         assert np.allclose(np.asarray(h_l), h_n, atol=ATOL)
         assert counts_l == counts_n.tolist() == [4] * len(rows)
 
-    def test_process_column_loss(self):
+    @pytest.mark.parametrize("other", OTHER_BACKENDS)
+    def test_process_column_loss(self, other):
         w, h, rows, _, vals, _ = _fixture(1)
-        (w_l, h_l), (w_n, h_n) = _stores(w, h)
+        (w_l, h_l), (w_n, h_n) = _stores(w, h, other)
         loss = HuberLoss(delta=0.5)
         counts_l = [0] * len(rows)
         counts_n = np.zeros(len(rows), dtype=np.int64)
@@ -83,22 +102,64 @@ class TestKernelEquivalence:
             w_l, h_l[0], rows.tolist(), vals.tolist(), counts_l,
             ALPHA, BETA, LAMBDA, loss,
         )
-        NumpyBackend().process_column_loss(
+        get_backend(other).process_column_loss(
             w_n, h_n[0], rows, vals, counts_n, ALPHA, BETA, LAMBDA, loss
         )
         assert np.allclose(np.asarray(w_l), w_n, atol=ATOL)
         assert np.allclose(np.asarray(h_l), h_n, atol=ATOL)
 
-    def test_process_entries(self):
+    @pytest.mark.parametrize("other", OTHER_BACKENDS)
+    def test_process_column_batch(self, other):
+        """The fused batch entry is identical to looped process_column."""
+        w, h, _, _, _, _ = _fixture(6)
+        rng = np.random.default_rng(60)
+        items = [0, 3, 5, 1]
+        col_users = [rng.integers(0, w.shape[0], size=m) for m in (7, 0, 11, 4)]
+        col_ratings = [rng.random(u.size) * 4.0 for u in col_users]
+        (w_l, h_l), (w_n, h_n) = _stores(w, h, other)
+        counts_l = [[1] * u.size for u in col_users]
+        counts_n = [np.ones(u.size, dtype=np.int64) for u in col_users]
+        reference = ListBackend()
+        a = 0
+        for j, users, ratings, counts in zip(
+            items, col_users, col_ratings, counts_l
+        ):
+            a += reference.process_column(
+                w_l, h_l[j], users.tolist(), ratings.tolist(),
+                counts, ALPHA, BETA, LAMBDA,
+            )
+        backend = get_backend(other)
+        b = backend.process_column_batch(
+            w_n,
+            [backend.row(h_n, j) for j in items],
+            col_users,
+            col_ratings,
+            counts_n,
+            ALPHA, BETA, LAMBDA,
+        )
+        assert a == b == sum(u.size for u in col_users)
+        assert np.allclose(np.asarray(w_l), np.asarray(w_n), atol=ATOL)
+        assert np.allclose(np.asarray(h_l), np.asarray(h_n), atol=ATOL)
+        for expected, got in zip(counts_l, counts_n):
+            assert expected == list(got)
+
+    def test_process_column_batch_empty(self):
+        for name in _available_backends():
+            assert get_backend(name).process_column_batch(
+                [], [], [], [], [], ALPHA, BETA, LAMBDA
+            ) == 0
+
+    @pytest.mark.parametrize("other", OTHER_BACKENDS)
+    def test_process_entries(self, other):
         w, h, rows, cols, vals, order = _fixture(2)
-        (w_l, h_l), (w_n, h_n) = _stores(w, h)
+        (w_l, h_l), (w_n, h_n) = _stores(w, h, other)
         counts_l = [0] * len(rows)
         counts_n = np.zeros(len(rows), dtype=np.int64)
         a = ListBackend().process_entries(
             w_l, h_l, rows.tolist(), cols.tolist(), vals.tolist(),
             counts_l, ALPHA, BETA, LAMBDA, order.tolist(),
         )
-        b = NumpyBackend().process_entries(
+        b = get_backend(other).process_entries(
             w_n, h_n, rows, cols, vals, counts_n, ALPHA, BETA, LAMBDA, order
         )
         assert a == b == len(order)
@@ -106,14 +167,15 @@ class TestKernelEquivalence:
         assert np.allclose(np.asarray(h_l), h_n, atol=ATOL)
         assert counts_l == counts_n.tolist()
 
-    def test_process_entries_const(self):
+    @pytest.mark.parametrize("other", OTHER_BACKENDS)
+    def test_process_entries_const(self, other):
         w, h, rows, cols, vals, order = _fixture(3)
-        (w_l, h_l), (w_n, h_n) = _stores(w, h)
+        (w_l, h_l), (w_n, h_n) = _stores(w, h, other)
         a = ListBackend().process_entries_const(
             w_l, h_l, rows.tolist(), cols.tolist(), vals.tolist(),
             0.07, LAMBDA, order.tolist(),
         )
-        b = NumpyBackend().process_entries_const(
+        b = get_backend(other).process_entries_const(
             w_n, h_n, rows, cols, vals, 0.07, LAMBDA, order
         )
         assert a == b == len(order)
@@ -121,7 +183,8 @@ class TestKernelEquivalence:
         assert np.allclose(np.asarray(h_l), h_n, atol=ATOL)
 
     def test_empty_entries_noop(self):
-        for backend in (ListBackend(), NumpyBackend()):
+        for name in _available_backends():
+            backend = get_backend(name)
             assert backend.process_entries(
                 [], [], [], [], [], [], ALPHA, BETA, LAMBDA, []
             ) == 0
@@ -132,7 +195,8 @@ class TestKernelEquivalence:
     def test_storage_round_trip(self):
         w, h, *_ = _fixture(4)
         pair = FactorPair(w.copy(), h.copy())
-        for backend in (ListBackend(), NumpyBackend()):
+        for name in _available_backends():
+            backend = get_backend(name)
             store_w, store_h = backend.make_store(pair)
             out = backend.export(store_w, store_h)
             assert np.array_equal(out.w, w)
@@ -144,7 +208,8 @@ class TestKernelEquivalence:
     def test_snapshot_restore(self):
         w, h, *_ = _fixture(5)
         pair = FactorPair(w.copy(), h.copy())
-        for backend in (ListBackend(), NumpyBackend()):
+        for name in _available_backends():
+            backend = get_backend(name)
             store_w, _ = backend.make_store(pair)
             snap = backend.copy_rows(store_w)
             backend.row(store_w, 1)[2] = -99.0
@@ -155,28 +220,30 @@ class TestKernelEquivalence:
 class TestSimulationEquivalence:
     """Whole optimizer runs are backend-independent."""
 
-    def test_nomad_matches_across_backends(self, small_split):
+    @pytest.mark.parametrize("other", OTHER_BACKENDS)
+    def test_nomad_matches_across_backends(self, small_split, other):
         train, test = small_split
         cluster = Cluster(1, 2, HPC_PROFILE)
         hyper = HyperParams(k=4, lambda_=0.01, alpha=0.05)
         traces = {}
         factors = {}
-        for backend in ("list", "numpy"):
+        for backend in ("list", other):
             run = RunConfig(
                 duration=0.005, eval_interval=0.001, seed=3,
                 kernel_backend=backend,
             )
             sim = NomadSimulation(train, test, cluster, hyper, run)
+            assert sim.kernel_backend == backend
             traces[backend] = sim.run()
             factors[backend] = sim.factors
         assert np.allclose(
-            factors["list"].w, factors["numpy"].w, atol=1e-8
+            factors["list"].w, factors[other].w, atol=1e-8
         )
         assert np.allclose(
-            factors["list"].h, factors["numpy"].h, atol=1e-8
+            factors["list"].h, factors[other].h, atol=1e-8
         )
         rmse_l = [r.rmse for r in traces["list"].records]
-        rmse_n = [r.rmse for r in traces["numpy"].records]
+        rmse_n = [r.rmse for r in traces[other].records]
         assert np.allclose(rmse_l, rmse_n, atol=1e-8)
 
     @pytest.mark.parametrize("optimizer", [SerialSGD, DSGDSimulation,
@@ -205,9 +272,11 @@ class TestSimulationEquivalence:
 
 class TestSelection:
     def test_registry_names(self):
-        assert set(BACKENDS) == {"list", "numpy"}
+        assert set(BACKENDS) == {"list", "numpy", "cext"}
         assert isinstance(get_backend("list"), ListBackend)
         assert isinstance(get_backend("numpy"), NumpyBackend)
+        if cext_available():
+            assert isinstance(get_backend("cext"), CextBackend)
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ConfigError):
@@ -215,13 +284,28 @@ class TestSelection:
         with pytest.raises(ConfigError):
             resolve_backend("gpu", k=8)
 
-    def test_auto_selects_by_k(self):
+    @needs_cext
+    def test_auto_prefers_cext_when_available(self):
+        # The compiled backend dominates at every k and for every storage.
+        assert isinstance(resolve_backend("auto", k=8), CextBackend)
+        assert isinstance(
+            resolve_backend("auto", k=AUTO_NUMPY_MIN_K), CextBackend
+        )
+        assert isinstance(
+            resolve_backend("auto", k=4, storage="ndarray"), CextBackend
+        )
+
+    def test_auto_selects_by_k(self, monkeypatch):
+        # Mask the toolchain: "auto" falls back to the interpreted
+        # crossover, exactly as on a box with no compiler.
+        monkeypatch.setenv("NOMAD_CEXT_DISABLE", "1")
         assert isinstance(resolve_backend("auto", k=8), ListBackend)
         assert isinstance(
             resolve_backend("auto", k=AUTO_NUMPY_MIN_K), NumpyBackend
         )
 
     def test_none_consults_env_var(self, monkeypatch):
+        monkeypatch.setenv("NOMAD_CEXT_DISABLE", "1")
         monkeypatch.delenv("NOMAD_KERNEL_BACKEND", raising=False)
         assert isinstance(resolve_backend(None, k=4), ListBackend)
         monkeypatch.setenv("NOMAD_KERNEL_BACKEND", "numpy")
@@ -229,7 +313,8 @@ class TestSelection:
         # Explicit names ignore the environment entirely.
         assert isinstance(resolve_backend("list", k=4), ListBackend)
 
-    def test_auto_prefers_numpy_for_ndarray_storage(self):
+    def test_auto_prefers_numpy_for_ndarray_storage(self, monkeypatch):
+        monkeypatch.setenv("NOMAD_CEXT_DISABLE", "1")
         assert isinstance(
             resolve_backend("auto", k=4, storage="ndarray"), NumpyBackend
         )
@@ -239,8 +324,12 @@ class TestSelection:
         )
 
     def test_run_config_validates_backend(self):
-        assert RunConfig().kernel_backend in ("auto", "list", "numpy")
+        assert RunConfig().kernel_backend in ("auto", "cext", "list", "numpy")
         assert RunConfig(kernel_backend="numpy").kernel_backend == "numpy"
+        # "cext" is always a *valid* setting (even with no toolchain);
+        # availability is enforced at backend resolution, with a clean
+        # ConfigError instead of a mid-fit crash.
+        assert RunConfig(kernel_backend="cext").kernel_backend == "cext"
         with pytest.raises(ConfigError):
             RunConfig(kernel_backend="fortran")
 
