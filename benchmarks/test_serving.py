@@ -1,0 +1,236 @@
+"""Benchmark: the HTTP recommendation service under concurrent load.
+
+Starts an in-process :class:`repro.RecommendationService` on an
+ephemeral port and drives it with keep-alive ``http.client`` workers:
+read clients alternating ``GET /recommend`` and ``GET /predict`` while
+ingest clients POST fresh rating batches that the background trainer
+folds in (rotating serving snapshots mid-flight).  Records to
+``results/serving.json``:
+
+* **throughput** — read requests/sec end-to-end over the loaded window;
+* **latency** — per-request p50/p99 in milliseconds, reads and ingest
+  batches separately;
+* **consistency** — every response a success status even while
+  snapshots rotate underneath the readers (asserted), plus the request
+  cache hit rate and the snapshot sequence reached.
+
+Scale via ``REPRO_BENCH_SCALE`` (``tiny`` for smoke passes).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import threading
+import time
+
+import numpy as np
+
+from conftest import write_bench_json
+
+from repro.config import HyperParams
+from repro.datasets.ratings import RatingMatrix
+from repro.serve import RecommendationService, ServiceConfig
+
+SEED = 0
+
+#: Per scale: (users, items, warmup nnz, read clients, requests per read
+#: client, ingest clients, batches per ingest client, ratings per batch).
+_SCALES = {
+    "tiny": (120, 60, 1200, 4, 100, 1, 5, 20),
+    "small": (300, 150, 6000, 8, 300, 2, 10, 40),
+    "medium": (600, 300, 24000, 12, 600, 3, 20, 60),
+}
+
+
+def _make_warmup(users: int, items: int, nnz: int) -> RatingMatrix:
+    rng = np.random.default_rng(SEED)
+    flat = rng.choice(users * items, size=nnz, replace=False)
+    rows, cols = np.divmod(flat, items)
+    return RatingMatrix(
+        users, items, rows, cols, rng.normal(0.0, 1.0, size=nnz)
+    )
+
+
+def _fresh_batches(warmup, n_batches, batch_size, rng):
+    """Rating batches over pairs absent from the warm-up matrix."""
+    seen = set(zip(warmup.rows.tolist(), warmup.cols.tolist()))
+    free = [
+        (u, i)
+        for u in range(warmup.n_rows)
+        for i in range(warmup.n_cols)
+        if (u, i) not in seen
+    ]
+    needed = n_batches * batch_size
+    if needed > len(free):
+        raise AssertionError("warm-up matrix too dense for ingest volume")
+    picked = rng.choice(len(free), size=needed, replace=False)
+    batches = []
+    for b in range(n_batches):
+        batches.append(
+            [
+                {
+                    "user": free[j][0],
+                    "item": free[j][1],
+                    "value": float(rng.normal(0.0, 1.0)),
+                }
+                for j in picked[b * batch_size : (b + 1) * batch_size]
+            ]
+        )
+    return batches
+
+
+class _Worker:
+    """One keep-alive client; records (latency_seconds, status) pairs."""
+
+    def __init__(self, host: str, port: int):
+        self.host, self.port = host, port
+        self.samples: list[tuple[float, int]] = []
+
+    def run(self, requests):
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=30)
+        try:
+            for method, path, body in requests:
+                started = time.perf_counter()
+                conn.request(
+                    method,
+                    path,
+                    body=body,
+                    headers={"Content-Type": "application/json"}
+                    if body
+                    else {},
+                )
+                response = conn.getresponse()
+                response.read()
+                self.samples.append(
+                    (time.perf_counter() - started, response.status)
+                )
+        finally:
+            conn.close()
+
+
+def _percentile_ms(samples, q: float) -> float:
+    latencies = np.array([s[0] for s in samples])
+    return round(float(np.percentile(latencies, q)) * 1e3, 3)
+
+
+def test_serving_load(bench_env):
+    """Record serving throughput/latency under concurrent ingest."""
+    results_dir, scale = bench_env
+    users, items, nnz, n_readers, per_reader, n_ingesters, n_batches, per_batch = (
+        _SCALES.get(scale, _SCALES["small"])
+    )
+    warmup = _make_warmup(users, items, nnz)
+    rng = np.random.default_rng(SEED + 1)
+
+    config = ServiceConfig(
+        warmup_epochs=3,
+        train_every=per_batch,
+        snapshot_every=2 * per_batch,
+        final_epochs=1,
+        cache_capacity=4 * users,
+    )
+    service = RecommendationService(warmup, HyperParams(k=8), config).start()
+    try:
+        host, port = "127.0.0.1", service.port
+        base_seq = service.store.latest.seq
+
+        read_plans = []
+        for r in range(n_readers):
+            plan = []
+            for i in range(per_reader):
+                user = int(rng.integers(users))
+                if i % 2 == 0:
+                    plan.append(("GET", f"/recommend?user={user}&n=10", None))
+                else:
+                    item = int(rng.integers(items))
+                    plan.append(
+                        ("GET", f"/predict?user={user}&item={item}", None)
+                    )
+            read_plans.append(plan)
+
+        ingest_plans = [
+            [
+                ("POST", "/ratings", json.dumps({"ratings": batch}))
+                for batch in _fresh_batches(warmup, n_batches, per_batch, rng)
+            ]
+            for _ in range(n_ingesters)
+        ]
+
+        readers = [_Worker(host, port) for _ in range(n_readers)]
+        ingesters = [_Worker(host, port) for _ in range(n_ingesters)]
+        threads = [
+            threading.Thread(target=w.run, args=(plan,))
+            for w, plan in (
+                list(zip(readers, read_plans))
+                + list(zip(ingesters, ingest_plans))
+            )
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+    finally:
+        service.stop()
+
+    read_samples = [s for w in readers for s in w.samples]
+    ingest_samples = [s for w in ingesters for s in w.samples]
+    requests_per_sec = len(read_samples) / elapsed
+    final_seq = service.store.latest.seq
+    stats = service.cache.stats_payload()
+
+    payload = {
+        "benchmark": "serving",
+        "scale": scale,
+        "seed": SEED,
+        "dataset": {"shape": [users, items], "warmup_nnz": nnz},
+        "load": {
+            "read_clients": n_readers,
+            "read_requests": len(read_samples),
+            "ingest_clients": n_ingesters,
+            "ingest_batches": len(ingest_samples),
+            "ratings_per_batch": per_batch,
+            "elapsed_seconds": round(elapsed, 4),
+        },
+        "throughput": {"read_requests_per_sec": round(requests_per_sec, 1)},
+        "latency_ms": {
+            "read_p50": _percentile_ms(read_samples, 50),
+            "read_p99": _percentile_ms(read_samples, 99),
+            "ingest_p50": _percentile_ms(ingest_samples, 50),
+            "ingest_p99": _percentile_ms(ingest_samples, 99),
+        },
+        "consistency": {
+            "snapshot_seq_start": base_seq,
+            "snapshot_seq_end": final_seq,
+            "rotations_under_load": final_seq - base_seq,
+            "request_cache_hit_rate": stats["hit_rate"],
+            "trainer_error": service.trainer_error,
+        },
+    }
+    os.makedirs(results_dir, exist_ok=True)
+    write_bench_json(os.path.join(results_dir, "serving.json"), payload)
+
+    print()
+    print(
+        f"serving: {len(read_samples):,} reads at {requests_per_sec:,.0f}/s "
+        f"(p50 {payload['latency_ms']['read_p50']} ms, "
+        f"p99 {payload['latency_ms']['read_p99']} ms)"
+    )
+    print(
+        f"ingest: {len(ingest_samples)} batches x {per_batch} ratings "
+        f"(p50 {payload['latency_ms']['ingest_p50']} ms); snapshot seq "
+        f"{base_seq} -> {final_seq} under load"
+    )
+
+    # Acceptance: every read succeeded and every batch was accepted even
+    # while the trainer rotated snapshots underneath the readers.
+    assert all(status == 200 for _, status in read_samples)
+    assert all(status == 202 for _, status in ingest_samples)
+    assert service.trainer_error is None
+    # The trainer actually folded served traffic in under load.
+    assert final_seq > base_seq
+    # Modest floor: a local stdlib server should clear this easily.
+    assert requests_per_sec >= 25.0

@@ -24,6 +24,12 @@ The package provides:
   :func:`repro.fit_stream`: online rating ingestion with §4 fold-in of
   new users/items, prequential scoring, rotating immutable serving
   snapshots, and a cached :class:`repro.Recommender` serving front;
+* an HTTP recommendation service (:mod:`repro.serve`, CLI
+  ``repro-nomad serve``): :class:`repro.RecommendationService` answers
+  ``/predict`` and ``/recommend`` traffic from the newest snapshot while
+  a background trainer folds POSTed ratings in through a live
+  :class:`repro.QueueStream`, with optional durable persistence so a
+  restarted server resumes from the newest snapshot on disk;
 * every baseline of the paper's evaluation (DSGD, DSGD++, FPSGD**, CCD++,
   ALS, a GraphLab-style lock-server ALS, Hogwild) in the algorithm
   registry (:data:`repro.ALGORITHMS`);
@@ -108,6 +114,7 @@ from .errors import (
     DataError,
     ExperimentError,
     ReproError,
+    ServeError,
     SimulationError,
     WireError,
 )
@@ -125,12 +132,15 @@ from .model import CompletionModel
 from .rng import RngFactory
 from .runtime import MultiprocessNomad, ThreadedNomad
 from .schedules import BoldDriver, ConstantSchedule, NomadSchedule
+from .serve import RecommendationService, ServiceConfig
 from .stream import (
+    CacheStats,
     DeltaStore,
     DriftStream,
     DynamicNomad,
     ModelSnapshot,
     PrequentialTrace,
+    QueueStream,
     RatingEvent,
     RatingStream,
     Recommender,
@@ -171,12 +181,17 @@ __all__ = [
     "RatingStream",
     "ReplayStream",
     "DriftStream",
+    "QueueStream",
     "DeltaStore",
     "DynamicNomad",
     "ModelSnapshot",
     "PrequentialTrace",
     "SnapshotStore",
     "Recommender",
+    "CacheStats",
+    # serving
+    "RecommendationService",
+    "ServiceConfig",
     # configuration
     "HyperParams",
     "RunConfig",
@@ -251,4 +266,5 @@ __all__ = [
     "ExperimentError",
     "WireError",
     "ClusterError",
+    "ServeError",
 ]

@@ -45,7 +45,7 @@ __all__ = [
 FACTOR_NAMES = frozenset({"w", "h", "_w", "_h", "w_shared", "h_shared"})
 
 #: Path segments marking a module as a factor-carrying substrate.
-FACTOR_SEGMENTS = frozenset({"runtime", "cluster", "stream"})
+FACTOR_SEGMENTS = frozenset({"runtime", "cluster", "stream", "serve"})
 
 #: Module-level dunder declaring the owner-guarded function allowlist.
 OWNER_DECLARATION = "__nomad_owner_contexts__"
@@ -58,7 +58,9 @@ KERNEL_CALLS = frozenset(
 
 #: Path segments whose modules feed reported timings (wall/join splits,
 #: prequential stamps, monitor deadlines).
-TIMING_SEGMENTS = frozenset({"runtime", "cluster", "stream", "metrics", "api"})
+TIMING_SEGMENTS = frozenset(
+    {"runtime", "cluster", "stream", "metrics", "api", "serve"}
+)
 
 #: Synchronization constructors accepted as closure-state mediation.
 _MEDIATORS = frozenset(
@@ -76,6 +78,20 @@ _MEDIATORS = frozenset(
 #: Call targets that acquire a socket-like resource.
 _SOCKET_FACTORIES = frozenset(
     {"socket.socket", "socket.create_connection", "socket.create_server"}
+)
+
+#: Server constructors that bind a listening socket at construction —
+#: acquiring one is acquiring the socket (``repro.serve`` brought the
+#: first of these into the tree).
+_SERVER_FACTORIES = frozenset(
+    {
+        "http.server.HTTPServer",
+        "http.server.ThreadingHTTPServer",
+        "socketserver.TCPServer",
+        "socketserver.ThreadingTCPServer",
+        "socketserver.UDPServer",
+        "socketserver.ThreadingUDPServer",
+    }
 )
 
 
@@ -295,22 +311,25 @@ class UnclosedSocketResource(Rule):
     code = "NMD004"
     name = "socket-close-gap"
     description = (
-        "socket or Transport acquired without close() on all paths: not "
-        "a with-block, never closed locally, and not owned by a class "
-        "that defines close()"
+        "socket, Transport, or HTTP server acquired without close() on "
+        "all paths: not a with-block, never closed locally, and not "
+        "owned by a class that defines close()"
     )
     tier = INVARIANT_TIER
 
     @staticmethod
     def _is_acquisition(module: ModuleContext, call: ast.Call) -> bool:
         resolved = module.resolve_call(call) or ""
-        if resolved in _SOCKET_FACTORIES:
+        if resolved in _SOCKET_FACTORIES or resolved in _SERVER_FACTORIES:
             return True
         name = terminal_name(call.func) or ""
         if name == "accept" and isinstance(call.func, ast.Attribute):
             return True
-        # Class-looking names ending in Transport (TcpTransport, ...).
-        return name.endswith("Transport") and name[:1].isupper()
+        # Class-looking names: ...Transport and ...HTTPServer subclasses
+        # (an HTTP server binds its listening socket at construction).
+        return (
+            name.endswith("Transport") or name.endswith("HTTPServer")
+        ) and name[:1].isupper()
 
     @staticmethod
     def _base_is_self(node: ast.AST) -> bool:
@@ -357,7 +376,7 @@ class UnclosedSocketResource(Rule):
                 fn = node.func
                 if (
                     isinstance(fn, ast.Attribute)
-                    and fn.attr == "close"
+                    and fn.attr in ("close", "server_close")
                     and isinstance(fn.value, ast.Name)
                     and fn.value.id == name
                 ):

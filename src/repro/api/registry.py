@@ -174,7 +174,12 @@ class StreamRequest:
     one place, :func:`repro.fit_stream`'s signature.  ``test`` optionally
     supplies a held-out set for the final result's convergence trace;
     ``None`` evaluates rotations against the combined (base + arrivals)
-    training data instead.
+    training data instead.  ``store``/``prequential`` optionally inject
+    the :class:`~repro.stream.snapshots.SnapshotStore` /
+    :class:`~repro.stream.snapshots.PrequentialTrace` instances the run
+    rotates into and scores against — how the HTTP service shares its
+    (durable) serving store with a background trainer; ``None`` means
+    the runner constructs fresh in-memory ones.
     """
 
     algorithm: AlgorithmSpec
@@ -192,6 +197,8 @@ class StreamRequest:
     test: RatingMatrix | None = None
     n_workers: int | None = None
     init_factors: FactorPair | None = None
+    store: object | None = None
+    prequential: object | None = None
     extra: dict = field(default_factory=dict)
 
 

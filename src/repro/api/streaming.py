@@ -171,8 +171,16 @@ def run_dynamic_stream(request: StreamRequest) -> StreamResult:
         init_factors=request.init_factors,
         count_cap=request.count_cap,
     )
-    store = SnapshotStore(max_keep=request.max_snapshots)
-    prequential = PrequentialTrace()
+    store = (
+        request.store
+        if request.store is not None
+        else SnapshotStore(max_keep=request.max_snapshots)
+    )
+    prequential = (
+        request.prequential
+        if request.prequential is not None
+        else PrequentialTrace()
+    )
     trace = Trace(
         algorithm=request.algorithm.name,
         n_workers=n_workers,
@@ -319,6 +327,8 @@ def fit_stream(
     snapshot_every: int = 500,
     max_snapshots: int = 8,
     count_cap: int | None = 8,
+    store: SnapshotStore | None = None,
+    prequential: PrequentialTrace | None = None,
     **engine_kwargs,
 ) -> StreamResult:
     """Train a model *online* over an arrival stream; return a
@@ -364,6 +374,18 @@ def fit_stream(
         :class:`~repro.stream.dynamic.DynamicNomad`).  The default keeps
         a step-size floor so warm rows stay plastic as the dataset
         grows; ``None`` restores the paper's unbounded eq-(11) decay.
+    store:
+        Optional :class:`~repro.stream.snapshots.SnapshotStore` (or
+        subclass, e.g. the durable store of
+        :mod:`repro.serve.persistence`) to rotate snapshots into.  This
+        is how a serving layer observes rotations *live* instead of
+        waiting for the stream to end; ``max_snapshots`` is ignored in
+        favor of the store's own ``max_keep``.  A non-empty store
+        resumes its sequence (the warm-start snapshot gets the next
+        seq, not 0).
+    prequential:
+        Optional :class:`~repro.stream.snapshots.PrequentialTrace` (or
+        subclass) to score arrivals into; ``None`` builds a fresh one.
     engine_kwargs:
         Engine-specific passthrough keywords (none for ``"dynamic"``).
     """
@@ -392,6 +414,15 @@ def fit_stream(
             raise ConfigError(f"{name} must be >= 1, got {value}")
     if count_cap is not None and count_cap < 1:
         raise ConfigError(f"count_cap must be >= 1 or None, got {count_cap}")
+    if store is not None and not isinstance(store, SnapshotStore):
+        raise ConfigError(
+            f"store must be a SnapshotStore or None, got {type(store).__name__}"
+        )
+    if prequential is not None and not isinstance(prequential, PrequentialTrace):
+        raise ConfigError(
+            f"prequential must be a PrequentialTrace or None, got "
+            f"{type(prequential).__name__}"
+        )
 
     algorithm_spec = resolve_algorithm(algorithm)
     engine_spec = resolve_engine(engine)
@@ -416,6 +447,8 @@ def fit_stream(
         snapshot_every=snapshot_every,
         max_snapshots=max_snapshots,
         count_cap=count_cap,
+        store=store,
+        prequential=prequential,
         extra=engine_kwargs,
     )
     return engine_spec.stream_runner(request)

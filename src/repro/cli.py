@@ -11,6 +11,8 @@ Usage::
     repro-nomad fit --list
     repro-nomad stream --source replay --dataset netflix
     repro-nomad stream --source drift --arrivals 2000
+    repro-nomad serve --source drift --port 8080
+    repro-nomad serve --persist-dir runs/movielens --dataset movielens
     repro-nomad analyze --baseline results/analysis_baseline.json src
     repro-nomad analyze --list-rules
 
@@ -20,7 +22,11 @@ the :func:`repro.fit` facade, prints its convergence trace and timing
 block, and optionally saves the trained model as ``.npz``.  ``stream``
 replays an arrival stream through :func:`repro.fit_stream` — online
 ingestion, warm-start dynamic NOMAD, snapshot rotation — and prints the
-prequential RMSE trace and ingestion throughput.  ``analyze`` runs
+prequential RMSE trace and ingestion throughput.  ``serve`` runs the
+HTTP recommendation service of :mod:`repro.serve`: a background trainer
+fed by ``POST /ratings`` traffic, predictions and top-N served from the
+newest snapshot, optionally persisted so a restart resumes where the
+last process stopped.  ``analyze`` runs
 nomadlint, the repo's AST invariant checker, ratcheting findings against
 a checked-in baseline (new findings fail; suppressions require a reason).
 """
@@ -29,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from .analysis.runner import add_analyze_arguments, run_analyze
@@ -39,6 +46,7 @@ from .experiments.figures import EXPERIMENT_REGISTRY, run_experiment
 from .experiments.harness import build_dataset, make_cluster
 from .experiments.report import render_result, result_to_csv_dir
 from .linalg.backends import BACKENDS, cext_unavailable_reason
+from .serve import RecommendationService, ServiceConfig
 from .stream import DriftStream, ReplayStream
 
 __all__ = ["main", "build_parser"]
@@ -246,6 +254,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="save the final serving snapshot as compressed npz",
     )
 
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="run the HTTP recommendation service (repro.serve)",
+        description=(
+            "Serve predictions and top-N recommendations over HTTP from "
+            "rotating model snapshots, while a background trainer folds "
+            "POSTed ratings into the model online.  With --persist-dir, "
+            "every rotation lands on disk and a restarted server resumes "
+            "from the newest persisted snapshot."
+        ),
+    )
+    serve_cmd.add_argument(
+        "--source",
+        default="drift",
+        choices=("replay", "drift"),
+        help="warm-up ratings source (default: drift)",
+    )
+    serve_cmd.add_argument(
+        "--dataset",
+        default="netflix",
+        help="dataset surrogate profile for --source replay (default: netflix)",
+    )
+    serve_cmd.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port; 0 picks an ephemeral port (default: 0)",
+    )
+    serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="dynamic NOMAD worker count (default 2)",
+    )
+    serve_cmd.add_argument(
+        "--warmup-epochs",
+        type=int,
+        default=5,
+        help="sweeps over the warm-up matrix before serving (default 5)",
+    )
+    serve_cmd.add_argument(
+        "--train-every",
+        type=int,
+        default=50,
+        help="run a training pass every N ingested ratings (default 50)",
+    )
+    serve_cmd.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=200,
+        help="rotate a serving snapshot every N ingested ratings (default 200)",
+    )
+    serve_cmd.add_argument(
+        "--persist-dir",
+        default=None,
+        metavar="DIR",
+        help="run directory for durable snapshots (default: in-memory only)",
+    )
+    serve_cmd.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=1024,
+        help="request-level LRU capacity; 0 disables (default 1024)",
+    )
+    serve_cmd.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for this many seconds then stop (default: until Ctrl-C)",
+    )
+    serve_cmd.add_argument(
+        "--seed", type=int, default=0, help="root random seed (default: 0)"
+    )
+
     analyze_cmd = commands.add_parser(
         "analyze",
         help="run the nomadlint static-analysis pass",
@@ -401,6 +488,64 @@ def _run_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP service from parsed CLI arguments."""
+    if args.source == "replay":
+        profile, train, _ = build_dataset(args.dataset, seed=args.seed)
+        warmup, hyper = train, profile.hyper
+        print(
+            f"warm-up: {args.dataset} surrogate — {train.n_rows} x "
+            f"{train.n_cols}, {train.nnz} ratings"
+        )
+    else:
+        drift = DriftStream(seed=args.seed)
+        warmup, hyper = drift.warmup, None
+        print(
+            f"warm-up: drift stream — {warmup.n_rows} x {warmup.n_cols}, "
+            f"{warmup.nnz} ratings"
+        )
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        persist_dir=args.persist_dir,
+        cache_capacity=args.cache_capacity,
+        warmup_epochs=args.warmup_epochs,
+        train_every=args.train_every,
+        snapshot_every=args.snapshot_every,
+        n_workers=args.workers,
+    )
+    service = RecommendationService(warmup, hyper, config)
+    service.start()
+    try:
+        resumed = getattr(service.store, "resumed_seq", None)
+        origin = (
+            f"resumed from persisted snapshot seq {resumed}"
+            if resumed is not None
+            else "fresh warm-up snapshot"
+        )
+        print(
+            f"serving on {service.url} ({origin}, serving seq "
+            f"{service.store.latest.seq}); Ctrl-C stops"
+        )
+        sys.stdout.flush()
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down (trainer converges, final snapshot rotates)")
+    finally:
+        service.stop()
+    print(
+        f"stopped: served seq {service.store.latest.seq}, "
+        f"{service.stream.n_events} ratings ingested"
+        + (f", persisted under {args.persist_dir}" if args.persist_dir else "")
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -424,6 +569,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "stream":
             try:
                 return _run_stream(args)
+            except ReproError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+
+        if args.command == "serve":
+            try:
+                return _run_serve(args)
             except ReproError as error:
                 print(f"error: {error}", file=sys.stderr)
                 return 2

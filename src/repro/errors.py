@@ -55,6 +55,17 @@ class AnalysisError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """An HTTP serving request or the service configuration is invalid.
+
+    Raised by :mod:`repro.serve` for malformed requests (bad query
+    parameters, invalid JSON bodies, schema violations — mapped to HTTP
+    400 by the service) and for service-level misconfiguration.  Model
+    and persistence problems keep their existing classes
+    (:class:`DataError`, :class:`ConfigError`).
+    """
+
+
 class ClusterError(ReproError):
     """The socket cluster engine reached an inconsistent state.
 

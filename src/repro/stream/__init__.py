@@ -6,9 +6,10 @@ streaming fashion" and the algorithm folds them in *without a restart*.
 This package makes that claim executable:
 
 * :mod:`~repro.stream.sources` — arrival streams: a timestamped replay
-  source over any :class:`~repro.datasets.ratings.RatingMatrix` and a
-  synthetic drift generator, both emitting events for brand-new users
-  and items.
+  source over any :class:`~repro.datasets.ratings.RatingMatrix`, a
+  synthetic drift generator (both emitting events for brand-new users
+  and items), and a live queue-fed source (:class:`QueueStream`) that
+  other threads push into — the HTTP ingest path of :mod:`repro.serve`.
 * :mod:`~repro.stream.dynamic` — :class:`DynamicNomad`, warm-start NOMAD
   over a base matrix plus an append-only delta store: factor rows grow on
   first sight of a new user/item (the §4 fold-in), and every arriving
@@ -32,19 +33,27 @@ from .snapshots import (
     PrequentialTrace,
     SnapshotStore,
 )
-from .serve import Recommender
-from .sources import DriftStream, RatingEvent, RatingStream, ReplayStream
+from .serve import CacheStats, Recommender
+from .sources import (
+    DriftStream,
+    QueueStream,
+    RatingEvent,
+    RatingStream,
+    ReplayStream,
+)
 
 __all__ = [
     "RatingEvent",
     "RatingStream",
     "ReplayStream",
     "DriftStream",
+    "QueueStream",
     "DeltaStore",
     "DynamicNomad",
     "ModelSnapshot",
     "PrequentialRecord",
     "PrequentialTrace",
     "SnapshotStore",
+    "CacheStats",
     "Recommender",
 ]

@@ -15,15 +15,65 @@ approximation, which degrades to popularity ranking.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..errors import ConfigError
 from ..model import top_items
 from .snapshots import ModelSnapshot, SnapshotStore
 
-__all__ = ["Recommender"]
+__all__ = ["CacheStats", "Recommender"]
 
 _COLD_START = ("mean", "error")
+
+
+@dataclass
+class CacheStats:
+    """Observable counters of one serving cache.
+
+    Shared by :class:`Recommender`'s per-user top-N cache and the HTTP
+    service's request-level LRU (:class:`repro.serve.cache.LruCache`),
+    so the ``/stats`` endpoint reports every cache in one shape.
+
+    Attributes
+    ----------
+    hits, misses:
+        Lookup outcomes.
+    invalidations:
+        Times the whole cache was dropped because a snapshot rotation
+        was observed.
+    evictions:
+        Entries dropped to capacity pressure (LRU caches; always 0 for
+        :class:`Recommender`, which stops inserting at capacity).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0.0 when unused)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> dict:
+        """JSON-ready counter dict (used by the ``/stats`` endpoint)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
 
 
 class Recommender:
@@ -62,9 +112,23 @@ class Recommender:
         self._cache: dict[tuple[int, int], list[tuple[int, float]]] = {}
         self._cache_seq: int | None = None
         self._mean_rows: tuple[np.ndarray, np.ndarray] | None = None
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.invalidations = 0
+        self.cache_stats = CacheStats()
+
+    # Legacy counter attributes, kept as live views of ``cache_stats``.
+    @property
+    def cache_hits(self) -> int:
+        """Top-N cache hits (see :attr:`cache_stats`)."""
+        return self.cache_stats.hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Top-N cache misses (see :attr:`cache_stats`)."""
+        return self.cache_stats.misses
+
+    @property
+    def invalidations(self) -> int:
+        """Whole-cache drops on observed rotation (see :attr:`cache_stats`)."""
+        return self.cache_stats.invalidations
 
     # ------------------------------------------------------------------
     def _snapshot(self) -> ModelSnapshot:
@@ -72,7 +136,7 @@ class Recommender:
         snapshot = self.store.latest
         if snapshot.seq != self._cache_seq:
             if self._cache:
-                self.invalidations += 1
+                self.cache_stats.invalidations += 1
             self._cache.clear()
             self._mean_rows = None
             self._cache_seq = snapshot.seq
@@ -144,9 +208,9 @@ class Recommender:
         if cacheable:
             hit = self._cache.get(key)
             if hit is not None:
-                self.cache_hits += 1
+                self.cache_stats.hits += 1
                 return list(hit)
-            self.cache_misses += 1
+            self.cache_stats.misses += 1
 
         if known:
             ranked = model.recommend(user, top_n=top_n, exclude=exclude)

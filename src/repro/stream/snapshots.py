@@ -192,6 +192,26 @@ class SnapshotStore:
             del self._snapshots[: len(self._snapshots) - self.max_keep]
         return snapshot
 
+    def adopt(self, snapshot: ModelSnapshot) -> ModelSnapshot:
+        """Install an externally-built snapshot (e.g. one reloaded from
+        disk by :class:`repro.serve.persistence.DurableSnapshotStore`)
+        and resume the rotation sequence *after* it.
+
+        The snapshot must be newer than anything already resident — the
+        sequence number is the serving caches' validity key, so it can
+        never move backwards.
+        """
+        if snapshot.seq < self._next_seq:
+            raise ConfigError(
+                f"cannot adopt snapshot seq {snapshot.seq}; store has "
+                f"already rotated past it (next seq {self._next_seq})"
+            )
+        self._snapshots.append(snapshot)
+        self._next_seq = snapshot.seq + 1
+        if len(self._snapshots) > self.max_keep:
+            del self._snapshots[: len(self._snapshots) - self.max_keep]
+        return snapshot
+
     @property
     def latest(self) -> ModelSnapshot:
         """The newest snapshot (serving reads this)."""

@@ -1,7 +1,7 @@
 """Arrival streams: where online ratings come from.
 
 A :class:`RatingStream` is a warm-up matrix plus an ordered sequence of
-timestamped :class:`RatingEvent` arrivals.  Two sources ship:
+timestamped :class:`RatingEvent` arrivals.  Three sources ship:
 
 * :class:`ReplayStream` — splits any existing
   :class:`~repro.datasets.ratings.RatingMatrix` into a warm-up prefix and
@@ -11,14 +11,23 @@ timestamped :class:`RatingEvent` arrivals.  Two sources ship:
 * :class:`DriftStream` — generates arrivals from a planted low-rank truth
   whose factors random-walk over time (concept drift), with new users and
   items appearing at configurable rates.
+* :class:`QueueStream` — a *live* source fed by other threads (the HTTP
+  ingest path of :mod:`repro.serve`): producers :meth:`~QueueStream.push`
+  ratings, the consuming :func:`repro.fit_stream` loop blocks until the
+  queue is closed.
 
-Both sources are fully deterministic given their seed and never emit a
-duplicate ``(user, item)`` pair, so the union of warm-up and arrivals is
-always a valid rating matrix.
+The replay and drift sources are fully deterministic given their seed and
+never emit a duplicate ``(user, item)`` pair, so the union of warm-up and
+arrivals is always a valid rating matrix.  The queue source carries
+whatever its producers push (deduplication is the producer's job — the
+HTTP service rejects duplicates before queueing).
 """
 
 from __future__ import annotations
 
+import queue
+import threading
+import time as _time
 from dataclasses import dataclass
 from typing import Iterator, Protocol, runtime_checkable
 
@@ -28,7 +37,13 @@ from ..datasets.ratings import RatingMatrix
 from ..errors import DataError
 from ..rng import RngFactory
 
-__all__ = ["RatingEvent", "RatingStream", "ReplayStream", "DriftStream"]
+__all__ = [
+    "RatingEvent",
+    "RatingStream",
+    "ReplayStream",
+    "DriftStream",
+    "QueueStream",
+]
 
 
 @dataclass(frozen=True)
@@ -341,4 +356,125 @@ class DriftStream:
         return (
             f"DriftStream(warmup={self.warmup.nnz}, events={self.n_events}, "
             f"entities={self.final_users}x{self.final_items})"
+        )
+
+
+class QueueStream:
+    """A live :class:`RatingStream` fed by producer threads.
+
+    Unlike :class:`ReplayStream`/:class:`DriftStream`, the arrivals are
+    not known up front: producers call :meth:`push` (thread-safe, any
+    number of producers) and one consumer — the
+    :func:`repro.fit_stream` loop — drains :meth:`events`, blocking when
+    the queue is empty until :meth:`close` ends the stream.  This is how
+    the HTTP service's ``POST /ratings`` ingest path feeds a background
+    trainer: served traffic becomes training data without either side
+    knowing about the other.
+
+    Parameters
+    ----------
+    warmup:
+        Ratings known before the stream starts (the initial training
+        set, exactly as in the other sources).
+    maxsize:
+        Queue bound; 0 (default) is unbounded.  When full, :meth:`push`
+        blocks — backpressure onto the producer.
+
+    Notes
+    -----
+    Timestamps are non-decreasing as the protocol requires: an explicit
+    ``at=`` is clamped to the newest stamp already issued, and the
+    default stamp is seconds since construction on the monotonic clock.
+    :attr:`n_events` reports arrivals *pushed so far* — for a live
+    source the eventual total is unknowable until :meth:`close`.
+    """
+
+    def __init__(self, warmup: RatingMatrix, maxsize: int = 0):
+        if maxsize < 0:
+            raise DataError(f"maxsize must be >= 0, got {maxsize}")
+        self.warmup = warmup
+        self._queue: queue.Queue = queue.Queue(maxsize)
+        self._lock = threading.Lock()
+        self._pushed = 0
+        self._last_time = 0.0
+        self._closed = False
+        self._epoch = _time.monotonic()
+
+    @property
+    def n_events(self) -> int:
+        """Arrivals pushed so far (grows while the stream is open)."""
+        return self._pushed
+
+    @property
+    def pending(self) -> int:
+        """Arrivals pushed but not yet drained by the consumer."""
+        return self._queue.qsize()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has ended the stream."""
+        return self._closed
+
+    def push(
+        self,
+        user: int,
+        item: int,
+        value: float,
+        at: float | None = None,
+    ) -> RatingEvent:
+        """Enqueue one arrival; returns the stamped event.
+
+        Validation mirrors the trainer's ingest checks (non-negative
+        indices, finite value) so a malformed rating fails at the edge,
+        in the producer's thread, instead of killing the consumer loop.
+        """
+        if user < 0 or item < 0:
+            raise DataError(f"arrival index out of range: ({user}, {item})")
+        if not np.isfinite(value):
+            raise DataError(f"arrival rating must be finite, got {value}")
+        with self._lock:
+            if self._closed:
+                raise DataError("queue stream is closed; cannot push")
+            stamp = (
+                _time.monotonic() - self._epoch if at is None else float(at)
+            )
+            stamp = max(stamp, self._last_time)
+            self._last_time = stamp
+            self._pushed += 1
+        event = RatingEvent(
+            time=stamp, user=int(user), item=int(item), value=float(value)
+        )
+        self._queue.put(event)
+        return event
+
+    def close(self) -> None:
+        """End the stream: the consumer drains what is queued and stops.
+
+        Idempotent; further :meth:`push` calls raise
+        :class:`~repro.errors.DataError`.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(None)  # sentinel: wakes the blocked consumer
+
+    def events(self) -> Iterator[RatingEvent]:
+        """Yield arrivals as they are pushed; blocks while open.
+
+        Single-consumer: exactly one loop (the ``fit_stream`` runner)
+        should iterate this.  Iteration ends when :meth:`close` is
+        called and everything already queued has been drained.
+        """
+        while True:
+            event = self._queue.get()
+            if event is None:
+                return
+            yield event
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"QueueStream({state}, warmup={self.warmup.nnz}, "
+            f"pushed={self._pushed}, pending={self.pending})"
         )

@@ -1,0 +1,25 @@
+"""NMD004 negative fixture: every HTTP server's socket has a close path."""
+
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+
+class PoliteService:
+    """Owns its server and releases the listening socket in close()."""
+
+    def __init__(self, port):
+        self._httpd = ThreadingHTTPServer(("", port), BaseHTTPRequestHandler)
+
+    def close(self):
+        self._httpd.server_close()
+
+
+def serve_once(port):
+    httpd = ThreadingHTTPServer(("", port), BaseHTTPRequestHandler)
+    try:
+        httpd.handle_request()
+    finally:
+        httpd.server_close()
+
+
+def make_server(port):
+    return ThreadingHTTPServer(("", port), BaseHTTPRequestHandler)  # caller owns

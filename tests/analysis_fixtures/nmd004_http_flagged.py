@@ -1,0 +1,15 @@
+"""NMD004 positive fixture: HTTP servers whose listening socket leaks."""
+
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+
+class LeakyService:
+    """Stores the server on self but defines no close()/__exit__."""
+
+    def __init__(self, port):
+        self._httpd = ThreadingHTTPServer(("", port), BaseHTTPRequestHandler)  # NMD004
+
+
+def serve_once(port):
+    httpd = ThreadingHTTPServer(("", port), BaseHTTPRequestHandler)  # NMD004
+    httpd.handle_request()

@@ -148,6 +148,23 @@ class TestFixtures:
         assert report.exit_code == 0
 
 
+class TestHttpServerAcquisition:
+    """NMD004 extension for repro.serve: an HTTP server binds its
+    listening socket at construction, so acquiring one without a close
+    path leaks the socket like any raw ``socket.create_server``."""
+
+    def test_flagged_http_fixture_fires(self):
+        report = analyze_fixture("nmd004_http_flagged.py")
+        assert codes_of(report) == ["NMD004", "NMD004"]
+        symbols = {f.symbol for f in report.ratchet.new}
+        assert symbols == {"LeakyService.__init__", "serve_once"}
+
+    def test_clean_http_fixture_is_silent(self):
+        report = analyze_fixture("nmd004_http_clean.py")
+        assert codes_of(report) == []
+        assert report.exit_code == 0
+
+
 class TestAcceptanceCriteria:
     """The two regressions the checker exists to make unrepresentable."""
 
