@@ -17,6 +17,11 @@ fixed real bugs against:
 * NMD005 — ``time.time()`` in a timing-sensitive module (the PR 1
   wall/join fix: durations come from ``perf_counter``, deadlines from
   ``monotonic`` — never the settable wall clock).
+* NMD006 — ``time.perf_counter()`` called directly in a substrate
+  module (runtime/cluster/stream/serve).  Substrates stamp spans with
+  ``repro.telemetry.clock`` — one sanctioned source keeps every
+  recorded stamp on the same clock, so hop latencies measured across
+  workers (and processes) stay comparable.
 
 Ownership contexts are **declared per-module**: a substrate lists its
 token-dispatch functions in a module-level ``__nomad_owner_contexts__``
@@ -38,6 +43,7 @@ __all__ = [
     "FACTOR_SEGMENTS",
     "KERNEL_CALLS",
     "OWNER_DECLARATION",
+    "SPAN_TIMING_SEGMENTS",
     "TIMING_SEGMENTS",
 ]
 
@@ -59,8 +65,15 @@ KERNEL_CALLS = frozenset(
 #: Path segments whose modules feed reported timings (wall/join splits,
 #: prequential stamps, monitor deadlines).
 TIMING_SEGMENTS = frozenset(
-    {"runtime", "cluster", "stream", "metrics", "api", "serve"}
+    {"runtime", "cluster", "stream", "metrics", "api", "serve", "telemetry"}
 )
+
+#: Path segments whose modules record telemetry spans — substrates that
+#: must stamp through ``repro.telemetry.clock`` (NMD006).  Narrower than
+#: :data:`TIMING_SEGMENTS`: the api/metrics layers time whole runs and
+#: never feed the recorder, so ``perf_counter`` stays legitimate there
+#: (and in :mod:`repro.telemetry` itself, which defines the clock).
+SPAN_TIMING_SEGMENTS = frozenset({"runtime", "cluster", "stream", "serve"})
 
 #: Synchronization constructors accepted as closure-state mediation.
 _MEDIATORS = frozenset(
@@ -469,4 +482,34 @@ class WallClockInTimingPath(Rule):
                 "time.time() is settable and non-monotonic; use "
                 "time.perf_counter() for durations or time.monotonic() "
                 "for deadlines (PR 1 wall/join timing contract)",
+            )
+
+
+@register_rule
+class BespokeSpanTiming(Rule):
+    code = "NMD006"
+    name = "bespoke-span-timing"
+    description = (
+        "time.perf_counter() called directly in a substrate module "
+        "(runtime/cluster/stream/serve) — stamp spans through "
+        "repro.telemetry.clock instead"
+    )
+    tier = INVARIANT_TIER
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not SPAN_TIMING_SEGMENTS & set(module.segments[:-1]):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if module.resolve_call(node) != "time.perf_counter":
+                continue
+            yield module.finding(
+                self.code,
+                node,
+                "substrate modules stamp spans with repro.telemetry.clock, "
+                "not time.perf_counter() directly — one sanctioned clock "
+                "source keeps recorded stamps comparable across workers "
+                "and processes, and a future clock swap is one edit "
+                "(time.monotonic() remains fine for deadlines)",
             )

@@ -42,6 +42,7 @@ from ..runtime.threaded import ThreadedNomad
 from ..simulator.cluster import Cluster
 from ..simulator.network import HPC_PROFILE
 from ..simulator.trace import Trace
+from ..telemetry import POINT_QUEUE_DEPTH, RunTelemetry, WorkerTelemetry
 from .registry import (
     CLUSTER,
     DYNAMIC,
@@ -97,6 +98,9 @@ def run_simulated(request: FitRequest) -> FitResult:
     started = time.perf_counter()
     trace = simulation.run()
     wall = time.perf_counter() - started
+    telemetry = None
+    if request.telemetry:
+        telemetry = _simulated_telemetry(request, simulation)
     return FitResult(
         algorithm=algorithm.name,
         engine=SIMULATED,
@@ -111,7 +115,40 @@ def run_simulated(request: FitRequest) -> FitResult:
         ),
         raw=simulation,
         kernel_backend=getattr(simulation, "kernel_backend", None),
+        telemetry=telemetry,
     )
+
+
+def _simulated_telemetry(request: FitRequest, simulation) -> RunTelemetry:
+    """Counter-level telemetry from the virtual-clock substrate.
+
+    The simulator's clock is simulated seconds, not a wall clock, so it
+    records no spans; it exposes its own counters (updates, network vs.
+    local hops) plus end-of-run queue depths instead, via the
+    ``telemetry_counters`` hook on :class:`~repro.core.nomad.NomadSimulation`.
+    """
+    counters = getattr(simulation, "telemetry_counters", None)
+    if counters is None:
+        raise ConfigError(
+            "telemetry=True on the simulated engine needs a "
+            "telemetry_counters() hook, which "
+            f"{request.algorithm.name!r} does not provide (NOMAD does); "
+            "use a live engine for span-level telemetry"
+        )
+    data = counters()
+    worker = WorkerTelemetry(
+        worker_id=0,
+        counters={
+            name: value
+            for name, value in data.items()
+            if isinstance(value, int)
+        },
+        events=[
+            (POINT_QUEUE_DEPTH, 0.0, 0.0, depth)
+            for depth in data.get("queue_depths", ())
+        ],
+    )
+    return RunTelemetry.from_workers([worker])
 
 
 def _reject_simulated_only(
@@ -179,6 +216,7 @@ def _live_result(
         ),
         raw=outcome,
         kernel_backend=kernel_backend,
+        telemetry=outcome.telemetry,
     )
 
 
@@ -193,6 +231,7 @@ def run_threaded(request: FitRequest) -> FitResult:
     runner = ThreadedNomad(
         request.train, request.test, n_workers, request.hyper,
         run=request.run, init_factors=request.factors,
+        telemetry=request.telemetry,
     )
     return _live_result(
         request, n_workers, runner.seed, runner.run(),
@@ -211,6 +250,7 @@ def run_multiprocess(request: FitRequest) -> FitResult:
     runner = MultiprocessNomad(
         request.train, request.test, n_workers, request.hyper,
         run=request.run, init_factors=request.factors,
+        telemetry=request.telemetry,
     )
     return _live_result(
         request, n_workers, runner.seed, runner.run(),
@@ -236,7 +276,8 @@ def run_cluster(request: FitRequest) -> FitResult:
     n_workers = _resolve_workers(request)
     runner = ClusterNomad(
         request.train, request.test, n_workers, request.hyper,
-        run=request.run, init_factors=request.factors, **request.extra,
+        run=request.run, init_factors=request.factors,
+        telemetry=request.telemetry, **request.extra,
     )
     return _live_result(
         request, n_workers, runner.seed, runner.run(),

@@ -42,6 +42,7 @@ def fit(
     options: NomadOptions | None = None,
     init_factors: FactorPair | None = None,
     factors: FactorPair | None = None,
+    telemetry: bool = False,
     **algorithm_kwargs,
 ) -> FitResult:
     """Train a matrix-completion model and return a :class:`FitResult`.
@@ -96,6 +97,15 @@ def fit(
     factors:
         Backward-compatible alias of ``init_factors`` (the historical
         simulated-engine keyword); passing both raises.
+    telemetry:
+        When true the run records per-worker telemetry
+        (:mod:`repro.telemetry`: token hops, queue depths, kernel
+        batches, idle time) and the result's ``telemetry`` attribute
+        carries the merged :class:`~repro.telemetry.RunTelemetry`.
+        The live engines instrument their workers; the simulated
+        engine reports virtual-time counters only (its clock is not a
+        wall clock, so it records no spans).  Default off — disabled
+        runs skip every instrumentation site.
     algorithm_kwargs:
         Extra constructor keywords of the chosen simulation class, e.g.
         ``refresh_period=16`` for Hogwild or ``inner_iters=2`` for CCD++.
@@ -146,6 +156,7 @@ def fit(
         n_workers=n_workers,
         options=options,
         factors=init_factors,
+        telemetry=bool(telemetry),
         extra=algorithm_kwargs,
     )
     return engine_spec.runner(request)

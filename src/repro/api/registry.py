@@ -161,6 +161,9 @@ class FitRequest:
     n_workers: int | None = None
     options: NomadOptions | None = None
     factors: FactorPair | None = None
+    #: Record per-worker telemetry (:mod:`repro.telemetry`) and attach
+    #: the merged RunTelemetry to ``FitResult.telemetry``.
+    telemetry: bool = False
     extra: dict = field(default_factory=dict)
 
 
@@ -199,6 +202,9 @@ class StreamRequest:
     init_factors: FactorPair | None = None
     store: object | None = None
     prequential: object | None = None
+    #: Record trainer telemetry (:mod:`repro.telemetry`) and attach the
+    #: merged RunTelemetry to the final result.
+    telemetry: bool = False
     extra: dict = field(default_factory=dict)
 
 

@@ -103,6 +103,10 @@ class FitResult:
         resolved to, so a benchmark result records which inner loop
         produced it.  ``None`` for engines that predate the field or
         algorithms with no SGD inner loop.
+    telemetry:
+        Merged :class:`~repro.telemetry.RunTelemetry` when the run was
+        made with ``telemetry=True`` (typed loosely to keep this module
+        import-light); ``None`` otherwise.
     """
 
     algorithm: str
@@ -112,6 +116,7 @@ class FitResult:
     timing: FitTiming
     raw: object = field(default=None, repr=False)
     kernel_backend: str | None = None
+    telemetry: object | None = field(default=None, repr=False)
     _model: CompletionModel | None = field(
         default=None, init=False, repr=False, compare=False
     )

@@ -36,6 +36,7 @@ from ..simulator.trace import Trace
 from ..stream.dynamic import DynamicNomad
 from ..stream.snapshots import PrequentialTrace, SnapshotStore
 from ..stream.sources import RatingStream
+from ..telemetry import SPAN_ROTATION, RunTelemetry
 from .registry import (
     DYNAMIC,
     FitRequest,
@@ -99,6 +100,7 @@ def run_dynamic(request: FitRequest) -> FitResult:
         request.hyper,
         run=run,
         init_factors=request.factors,
+        telemetry=request.telemetry,
         **request.extra,
     )
     trace = Trace(
@@ -144,7 +146,15 @@ def run_dynamic(request: FitRequest) -> FitResult:
         ),
         raw=dynamic,
         kernel_backend=dynamic.backend.name,
+        telemetry=_dynamic_telemetry(dynamic),
     )
+
+
+def _dynamic_telemetry(dynamic: DynamicNomad) -> RunTelemetry | None:
+    """Fold the trainer's single recorder into a merged view (or None)."""
+    if dynamic.recorder is None:
+        return None
+    return RunTelemetry.from_workers([dynamic.recorder.snapshot()])
 
 
 # ----------------------------------------------------------------------
@@ -170,6 +180,7 @@ def run_dynamic_stream(request: StreamRequest) -> StreamResult:
         run=request.run,
         init_factors=request.init_factors,
         count_cap=request.count_cap,
+        telemetry=request.telemetry,
     )
     store = (
         request.store
@@ -219,6 +230,12 @@ def run_dynamic_stream(request: StreamRequest) -> StreamResult:
             dynamic.total_updates,
         )
         elapsed = time.perf_counter() - started
+        if dynamic.recorder is not None:
+            # The recorder's clock is perf_counter, so `started` is
+            # already on the span time base.
+            dynamic.recorder.span(
+                SPAN_ROTATION, started, elapsed, store.latest.seq
+            )
         store.rotation_seconds.append(elapsed)
         trace.add(stream_time, dynamic.total_updates, evaluate())
         return elapsed
@@ -291,6 +308,7 @@ def run_dynamic_stream(request: StreamRequest) -> StreamResult:
         ),
         raw=dynamic,
         kernel_backend=dynamic.backend.name,
+        telemetry=_dynamic_telemetry(dynamic),
     )
     return StreamResult(
         algorithm=request.algorithm.name,
@@ -329,6 +347,7 @@ def fit_stream(
     count_cap: int | None = 8,
     store: SnapshotStore | None = None,
     prequential: PrequentialTrace | None = None,
+    telemetry: bool = False,
     **engine_kwargs,
 ) -> StreamResult:
     """Train a model *online* over an arrival stream; return a
@@ -386,6 +405,12 @@ def fit_stream(
     prequential:
         Optional :class:`~repro.stream.snapshots.PrequentialTrace` (or
         subclass) to score arrivals into; ``None`` builds a fresh one.
+    telemetry:
+        When true the trainer records ingest, sweep, kernel, and
+        snapshot-rotation spans (:mod:`repro.telemetry`); the final
+        result's ``telemetry`` attribute carries the merged
+        :class:`~repro.telemetry.RunTelemetry`.  Default off — disabled
+        runs skip every instrumentation site.
     engine_kwargs:
         Engine-specific passthrough keywords (none for ``"dynamic"``).
     """
@@ -449,6 +474,7 @@ def fit_stream(
         count_cap=count_cap,
         store=store,
         prequential=prequential,
+        telemetry=bool(telemetry),
         extra=engine_kwargs,
     )
     return engine_spec.stream_runner(request)

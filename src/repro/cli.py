@@ -13,6 +13,7 @@ Usage::
     repro-nomad stream --source drift --arrivals 2000
     repro-nomad serve --source drift --port 8080
     repro-nomad serve --persist-dir runs/movielens --dataset movielens
+    repro-nomad trace --engine threaded --duration 1.0 --out trace.json
     repro-nomad analyze --baseline results/analysis_baseline.json src
     repro-nomad analyze --list-rules
 
@@ -26,7 +27,10 @@ prequential RMSE trace and ingestion throughput.  ``serve`` runs the
 HTTP recommendation service of :mod:`repro.serve`: a background trainer
 fed by ``POST /ratings`` traffic, predictions and top-N served from the
 newest snapshot, optionally persisted so a restart resumes where the
-last process stopped.  ``analyze`` runs
+last process stopped.  ``trace`` runs one telemetry-enabled fit and
+exports the recorded per-worker spans as Chrome trace-event JSON,
+loadable in Perfetto (ui.perfetto.dev) or ``chrome://tracing``.
+``analyze`` runs
 nomadlint, the repo's AST invariant checker, ratcheting findings against
 a checked-in baseline (new findings fail; suppressions require a reason).
 """
@@ -34,6 +38,7 @@ a checked-in baseline (new findings fail; suppressions require a reason).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Sequence
@@ -48,6 +53,7 @@ from .experiments.report import render_result, result_to_csv_dir
 from .linalg.backends import BACKENDS, cext_unavailable_reason
 from .serve import RecommendationService, ServiceConfig
 from .stream import DriftStream, ReplayStream
+from .telemetry import KIND_NAMES, chrome_trace
 
 __all__ = ["main", "build_parser"]
 
@@ -333,6 +339,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="root random seed (default: 0)"
     )
 
+    trace_cmd = commands.add_parser(
+        "trace",
+        help="record a telemetry trace and export Chrome trace-event JSON",
+        description=(
+            "Run one telemetry-enabled fit (repro.fit(..., "
+            "telemetry=True)) and export the recorded per-worker spans — "
+            "token hops, kernel batches, queue depths, idle time — as "
+            "Chrome trace-event JSON, loadable in Perfetto "
+            "(ui.perfetto.dev) or chrome://tracing."
+        ),
+    )
+    trace_cmd.add_argument(
+        "--engine",
+        default="threaded",
+        choices=sorted(ENGINES),
+        help=(
+            "execution engine (default: threaded); the simulated engine "
+            "records counters only, so its trace carries no spans"
+        ),
+    )
+    trace_cmd.add_argument(
+        "--dataset",
+        default="netflix",
+        help="dataset surrogate profile (default: netflix)",
+    )
+    trace_cmd.add_argument(
+        "--duration",
+        type=float,
+        default=0.5,
+        help="run budget in seconds, as in 'fit' (default: 0.5)",
+    )
+    trace_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker count for the live engines (default: 2)",
+    )
+    trace_cmd.add_argument(
+        "--seed", type=int, default=0, help="root random seed (default: 0)"
+    )
+    trace_cmd.add_argument(
+        "--out",
+        default="trace.json",
+        metavar="PATH",
+        help="output path of the trace JSON (default: trace.json)",
+    )
+
     analyze_cmd = commands.add_parser(
         "analyze",
         help="run the nomadlint static-analysis pass",
@@ -546,6 +599,60 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    """Record one telemetry-enabled fit and export a Chrome trace."""
+    profile, train, test = build_dataset(args.dataset, seed=args.seed)
+    run = RunConfig(
+        duration=args.duration,
+        eval_interval=args.duration / 10,
+        seed=args.seed,
+    )
+    workers = None if args.engine == "simulated" else args.workers
+    result = fit(
+        train,
+        test,
+        algorithm="nomad",
+        engine=args.engine,
+        hyper=profile.hyper,
+        run=run,
+        n_workers=workers,
+        telemetry=True,
+    )
+    telemetry = result.telemetry
+    trace = chrome_trace(telemetry)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle)
+
+    summary = telemetry.summary()
+    kinds: dict[str, int] = {}
+    for worker in telemetry.workers:
+        for kind, _, _, _ in worker.events:
+            name = KIND_NAMES.get(kind, str(kind))
+            kinds[name] = kinds.get(name, 0) + 1
+    print(result.summary())
+    print(
+        f"telemetry: {summary['n_workers']} workers, "
+        + ", ".join(f"{count:,} {name}" for name, count in sorted(kinds.items()))
+        + (
+            f", {summary['events_dropped']:,} events dropped (ring wrap)"
+            if summary["events_dropped"]
+            else ""
+        )
+    )
+    hop = summary["hop_latency"]
+    if hop["count"]:
+        print(
+            f"hop latency: p50 {hop['p50'] * 1e6:,.0f} us, "
+            f"p95 {hop['p95'] * 1e6:,.0f} us, "
+            f"p99 {hop['p99'] * 1e6:,.0f} us over {hop['count']:,} hops"
+        )
+    print(
+        f"wrote {len(trace['traceEvents']):,} trace events to {args.out} "
+        "(load in ui.perfetto.dev or chrome://tracing)"
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -576,6 +683,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "serve":
             try:
                 return _run_serve(args)
+            except ReproError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+
+        if args.command == "trace":
+            try:
+                return _run_trace(args)
             except ReproError as error:
                 print(f"error: {error}", file=sys.stderr)
                 return 2

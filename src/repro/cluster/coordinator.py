@@ -47,6 +47,7 @@ from ..runtime.result import (
     resolve_duration,
     resolve_run_settings,
 )
+from ..telemetry import RunTelemetry, clock, decode_payload
 from .transport import (
     COORDINATOR,
     MAX_FRAME_BYTES,
@@ -122,6 +123,13 @@ class ClusterNomad:
         token payloads are seeded from them instead of the
         seed-determined initialization.  The caller's arrays are only
         read.
+    telemetry:
+        When true each worker records token hops, queue depths, kernel
+        batches, and idle polls into a per-worker ring
+        (:mod:`repro.telemetry`), ships the snapshot back as a
+        payload-bearing ``Fin``, and the result carries a merged
+        :class:`~repro.telemetry.RunTelemetry`.  Default off: the run
+        is byte-identical to a pre-telemetry run on the wire.
     """
 
     def __init__(
@@ -136,6 +144,7 @@ class ClusterNomad:
         transport: str = "tcp",
         batch_size: int = DEFAULT_BATCH_SIZE,
         init_factors: FactorPair | None = None,
+        telemetry: bool = False,
     ):
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
@@ -155,6 +164,7 @@ class ClusterNomad:
         self.run_config = run
         self.transport = transport
         self.batch_size = int(batch_size)
+        self.telemetry = bool(telemetry)
         self.seed, kernel_backend = resolve_run_settings(
             seed, kernel_backend, run
         )
@@ -203,6 +213,7 @@ class ClusterNomad:
                     shard_vals=shard_vals,
                     w_rows=partition[q],
                     w_init=init.w[partition[q]],
+                    telemetry=self.telemetry,
                 )
             )
         return specs
@@ -266,12 +277,17 @@ class ClusterNomad:
         timeout: float,
         what: str,
         health_check=None,
+        fin_sink: dict[int, bytes] | None = None,
     ) -> dict[int, object]:
         """Collect one ``frame_type`` frame per worker within ``timeout``.
 
         The one poll loop behind both control-plane barriers (the
         ``Ready`` bootstrap and final result collection).  Frames of
-        other kinds are ignored; missing workers fail with a
+        other kinds are ignored — except that when ``fin_sink`` is
+        given, telemetry blobs riding payload-bearing ``Fin`` frames
+        are captured into it by worker id (a telemetry-enabled worker
+        sends its ``Fin`` just ahead of its ``ResultShard`` on the same
+        ordered link).  Missing workers fail with a
         :class:`ClusterError` naming them.  ``health_check`` (optional)
         runs on every idle poll with the frames so far and returns a
         failure description (or ``None``) when an unreported worker is
@@ -303,14 +319,23 @@ class ClusterNomad:
             message = wire.decode(body)
             if isinstance(message, frame_type):
                 collected[message.worker_id] = message
+            elif (
+                fin_sink is not None
+                and isinstance(message, wire.Fin)
+                and message.telemetry is not None
+            ):
+                fin_sink[message.worker_id] = message.telemetry
         return collected
 
     def _collect_results(
-        self, transport: Transport, health_check=None
+        self,
+        transport: Transport,
+        health_check=None,
+        fin_sink: dict[int, bytes] | None = None,
     ) -> dict[int, wire.ResultShard]:
         return self._gather(
             transport, wire.ResultShard, _RESULT_TIMEOUT, "results",
-            health_check,
+            health_check, fin_sink,
         )
 
     def _assemble(
@@ -366,6 +391,7 @@ class ClusterNomad:
         factory: RngFactory,
         duration_seconds: float,
         health_check=None,
+        fin_sink: dict[int, bytes] | None = None,
     ) -> tuple[dict[int, wire.ResultShard], float, float]:
         """Scatter → run → stop → collect; returns (shards, wall, stop stamp)."""
         # The scatter is bootstrap, like Ready/Peers: stamp the wall
@@ -373,14 +399,14 @@ class ClusterNomad:
         # initial H never eats into the timed window (the other live
         # runtimes likewise seed tokens before their wall stamp).
         self._scatter_tokens(transport, init, factory)
-        started = time.perf_counter()
+        started = clock()
         run_deadline = started + duration_seconds
         while True:
             # Sleep in short slices so a worker dying early in a long
             # run fails within _HEALTH_POLL_SECONDS, not at the end of
             # the whole wall budget (no worker exits before Stop, so any
             # death seen here is a crash).
-            left = run_deadline - time.perf_counter()
+            left = run_deadline - clock()
             if left <= 0:
                 break
             time.sleep(min(left, _HEALTH_POLL_SECONDS))
@@ -392,8 +418,8 @@ class ClusterNomad:
         # End of the parallel section: stamp the wall clock at the stop
         # broadcast, so draining, result collection, and joins can never
         # inflate the reported parallel time.
-        stopped = time.perf_counter()
-        shards = self._collect_results(transport, health_check)
+        stopped = clock()
+        shards = self._collect_results(transport, health_check, fin_sink)
         return shards, stopped - started, stopped
 
     def _finish(
@@ -402,9 +428,22 @@ class ClusterNomad:
         shards: dict[int, wire.ResultShard],
         wall: float,
         join_seconds: float,
+        fin_payloads: dict[int, bytes] | None = None,
     ) -> ClusterResult:
         final = self._assemble(init, shards)
         per_worker = [shards[q].updates for q in range(self.n_workers)]
+        telemetry = None
+        if self.telemetry:
+            # A payload that fails version/magic checks decodes to None
+            # and that worker is simply absent from the merge — version
+            # skew degrades telemetry, never the run.
+            decoded = [
+                decode_payload(blob)
+                for blob in (fin_payloads or {}).values()
+            ]
+            telemetry = RunTelemetry.from_workers(
+                [worker for worker in decoded if worker is not None]
+            )
         return ClusterResult(
             factors=final,
             updates=sum(per_worker),
@@ -412,6 +451,7 @@ class ClusterNomad:
             rmse=test_rmse(final, self.test),
             updates_per_worker=per_worker,
             join_seconds=join_seconds,
+            telemetry=telemetry,
         )
 
     def _run_tcp(
@@ -446,6 +486,7 @@ class ClusterNomad:
             )
 
         completed = False
+        fin_payloads: dict[int, bytes] = {}
         with TcpTransport(COORDINATOR) as transport:
             try:
                 for spec in specs:
@@ -474,7 +515,8 @@ class ClusterNomad:
                     transport.send(q, peers_frame)
 
                 shards, wall, stopped = self._drive(
-                    transport, init, factory, duration_seconds, health_check
+                    transport, init, factory, duration_seconds, health_check,
+                    fin_payloads,
                 )
                 completed = True
             finally:
@@ -491,8 +533,8 @@ class ClusterNomad:
                     if process.is_alive():
                         process.terminate()
                         process.join()
-        join_seconds = time.perf_counter() - stopped
-        return self._finish(init, shards, wall, join_seconds)
+        join_seconds = clock() - stopped
+        return self._finish(init, shards, wall, join_seconds, fin_payloads)
 
     def _run_loopback(
         self,
@@ -531,11 +573,13 @@ class ClusterNomad:
             )
 
         completed = False
+        fin_payloads: dict[int, bytes] = {}
         for thread in threads:
             thread.start()
         try:
             shards, wall, stopped = self._drive(
-                transport, init, factory, duration_seconds, health_check
+                transport, init, factory, duration_seconds, health_check,
+                fin_payloads,
             )
             completed = True
         finally:
@@ -554,5 +598,5 @@ class ClusterNomad:
                             transport.send(q, wire.encode_fin(peer))
             for thread in threads:
                 thread.join(timeout=_JOIN_TIMEOUT)
-        join_seconds = time.perf_counter() - stopped
-        return self._finish(init, shards, wall, join_seconds)
+        join_seconds = clock() - stopped
+        return self._finish(init, shards, wall, join_seconds, fin_payloads)

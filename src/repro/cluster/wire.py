@@ -71,6 +71,7 @@ _TOKEN_META = struct.Struct(">qq")  # item index, queue-size hint
 _READY_BODY = struct.Struct(">IH")  # worker id, listening port
 _PEER_ENTRY = struct.Struct(">IH")  # worker id, listening port
 _FIN_BODY = struct.Struct(">I")  # worker id
+_FIN_TELEMETRY = struct.Struct(">I")  # telemetry blob byte length
 _RESULT_HEAD = struct.Struct(">IQIII")  # worker, updates, k, n_rows, n_held
 _COUNT = struct.Struct(">I")
 
@@ -136,9 +137,19 @@ class Stop:
 
 @dataclass(frozen=True)
 class Fin:
-    """Worker → worker: no more tokens will follow on this link."""
+    """Worker → worker: no more tokens will follow on this link.
+
+    ``telemetry`` is an optional opaque blob (the versioned payload of
+    :mod:`repro.telemetry.payload`): a telemetry-enabled worker sends
+    one payload-bearing ``Fin`` to the coordinator when its run ends.
+    The wire layer neither inspects nor versions the blob's *contents*
+    — a plain pre-PR-10 ``Fin`` (no trailing block) decodes with
+    ``telemetry=None``, so old workers and forged drain markers keep
+    working unchanged.
+    """
 
     worker_id: int
+    telemetry: bytes | None = None
 
 
 @dataclass
@@ -205,6 +216,10 @@ class _Reader:
             np.float64 if dtype == _F8 else np.int64
         )
 
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
     def done(self) -> None:
         if self._pos != len(self._data):
             raise WireError(
@@ -244,9 +259,12 @@ def encode_stop() -> bytes:
     return _header(_KIND_STOP)
 
 
-def encode_fin(worker_id: int) -> bytes:
-    """Serialize the per-link drain marker."""
-    return _header(_KIND_FIN) + _FIN_BODY.pack(worker_id)
+def encode_fin(worker_id: int, telemetry: bytes | None = None) -> bytes:
+    """Serialize the per-link drain marker (+ optional telemetry blob)."""
+    frame = _header(_KIND_FIN) + _FIN_BODY.pack(worker_id)
+    if telemetry is None:
+        return frame
+    return frame + _FIN_TELEMETRY.pack(len(telemetry)) + telemetry
 
 
 def encode_result(
@@ -318,7 +336,13 @@ def decode(body: bytes):
         message = Stop()
     elif kind == _KIND_FIN:
         (worker_id,) = reader.unpack(_FIN_BODY)
-        message = Fin(worker_id=worker_id)
+        telemetry = None
+        if reader.remaining:
+            # Optional telemetry block (PR 10).  Its absence is the
+            # pre-PR-10 frame layout, so old-format Fins decode fine.
+            (length,) = reader.unpack(_FIN_TELEMETRY)
+            telemetry = reader.take(length)
+        message = Fin(worker_id=worker_id, telemetry=telemetry)
     elif kind == _KIND_RESULT:
         worker_id, updates, k, n_rows, n_held = reader.unpack(_RESULT_HEAD)
         _check_k(k)

@@ -38,6 +38,20 @@ from ..datasets.ratings import Shard
 from ..errors import ClusterError
 from ..linalg.backends import get_backend
 from ..rng import derive_pyrandom
+from ..telemetry import (
+    C_BATCHES,
+    C_DRAINS,
+    C_IDLE_POLLS,
+    C_TOKENS,
+    C_UPDATES,
+    POINT_QUEUE_DEPTH,
+    Recorder,
+    SPAN_HOP,
+    SPAN_IDLE,
+    SPAN_KERNEL,
+    clock,
+    encode_payload,
+)
 from .transport import COORDINATOR, TcpTransport, Transport
 from . import wire
 
@@ -87,6 +101,9 @@ class WorkerSpec:
     shard_vals: np.ndarray
     w_rows: np.ndarray
     w_init: np.ndarray
+    #: When true the worker records into a telemetry ring and ships the
+    #: snapshot to the coordinator as a payload-bearing ``Fin``.
+    telemetry: bool = False
 
 
 def run_worker(
@@ -119,6 +136,12 @@ def run_worker(
     routing = derive_pyrandom(spec.seed, f"cluster-route-{spec.worker_id}")
     peers = [q for q in range(spec.n_workers) if q != spec.worker_id]
     inbox: deque[wire.Token] = deque()
+    # Telemetry is local-only: tokens are NOT re-stamped on the wire (the
+    # token layout stays byte-identical to the simulator's cost model),
+    # so a hop span measures local inbox residence — arrival to pop —
+    # via this deque of arrival stamps kept parallel to ``inbox``.
+    rec = Recorder(spec.worker_id) if spec.telemetry else None
+    arrivals: deque[float] = deque()
     buffers: dict[int, list[wire.Token]] = {q: [] for q in peers}
     updates = 0
     stopping = False
@@ -135,6 +158,8 @@ def run_worker(
         nonlocal stopping, drain_deadline
         if isinstance(message, wire.TokenEnvelope):
             inbox.extend(message.tokens)
+            if rec is not None:
+                arrivals.extend([clock()] * len(message.tokens))
         elif isinstance(message, wire.Stop):
             # Idempotent: the coordinator may re-broadcast Stop on its
             # failure path; a second one must not push the drain
@@ -158,7 +183,14 @@ def run_worker(
     while True:
         # Drain every frame already delivered; block only when idle.
         timeout = 0.0 if (inbox and not stopping) else _POLL_SECONDS
-        body = transport.recv(timeout=timeout)
+        if rec is not None and timeout > 0.0:
+            poll_start = clock()
+            body = transport.recv(timeout=timeout)
+            if body is None and not stopping:
+                rec.span(SPAN_IDLE, poll_start, clock() - poll_start)
+                rec.add(C_IDLE_POLLS)
+        else:
+            body = transport.recv(timeout=timeout)
         while body is not None:
             dispatch(wire.decode(body))
             body = transport.recv(timeout=0.0)
@@ -177,10 +209,19 @@ def run_worker(
         # processed are processed, in the same order; each token's §3.3
         # queue hint is stamped at its pop, when the depth is observed.
         burst: list[wire.Token] = []
+        if rec is not None and inbox:
+            now = clock()
+            rec.point(POINT_QUEUE_DEPTH, len(inbox))
+            rec.add(C_DRAINS)
         for _ in range(min(len(inbox), _BURST)):
             token = inbox.popleft()
             token.queue_hint = len(inbox)
+            if rec is not None:
+                arrived = arrivals.popleft()
+                rec.span(SPAN_HOP, arrived, now - arrived)
             burst.append(token)
+        if rec is not None and burst:
+            rec.add(C_TOKENS, len(burst))
         h_cols: list = []
         col_users: list = []
         col_ratings: list = []
@@ -194,14 +235,24 @@ def run_worker(
                 col_ratings.append(ratings)
                 col_counts.append(counts[lo:hi])
         if h_cols:
-            updates += backend.process_column_batch(
+            if rec is not None:
+                kernel_start = clock()
+            applied = backend.process_column_batch(
                 w, h_cols, col_users, col_ratings, col_counts,
                 hyper.alpha, hyper.beta, hyper.lambda_,
             )
+            updates += applied
+            if rec is not None:
+                rec.span(SPAN_KERNEL, kernel_start, clock() - kernel_start,
+                         applied)
+                rec.add(C_UPDATES, applied)
+                rec.add(C_BATCHES)
         for token in burst:
             dest = routing.randrange(spec.n_workers)
             if dest == spec.worker_id:
                 inbox.append(token)  # a self-hop is a local queue push (§3.4)
+                if rec is not None:
+                    arrivals.append(clock())
             else:
                 buffers[dest].append(token)
                 if len(buffers[dest]) >= spec.batch_size:
@@ -213,6 +264,17 @@ def run_worker(
     held = list(inbox)
     for batch in buffers.values():
         held.extend(batch)
+    if rec is not None:
+        # Ship the telemetry snapshot ahead of the result on the same
+        # link: TCP per-connection ordering then guarantees the
+        # coordinator holds the payload before it counts this worker's
+        # ResultShard as collected.
+        transport.send(
+            COORDINATOR,
+            wire.encode_fin(
+                spec.worker_id, telemetry=encode_payload(rec.snapshot())
+            ),
+        )
     transport.send(
         COORDINATOR,
         wire.encode_result(spec.worker_id, updates, spec.w_rows, w, held, k),

@@ -268,6 +268,21 @@ class NomadSimulation:
         """Current queue length of every worker (diagnostics, tests)."""
         return [len(queue) for queue in self._queues]
 
+    def telemetry_counters(self) -> dict:
+        """Virtual-clock telemetry hook for ``fit(..., telemetry=True)``.
+
+        The simulator has no wall clock, so instead of recorded spans it
+        reports its own counters plus end-of-run queue depths; the
+        simulated engine folds these into a counters-only
+        :class:`~repro.telemetry.RunTelemetry`.
+        """
+        return {
+            "updates": self._total_updates,
+            "network_hops": self._network_hops,
+            "local_hops": self._local_hops,
+            "queue_depths": self.queue_sizes(),
+        }
+
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------

@@ -52,6 +52,21 @@ from ..linalg.factors import FactorPair, init_factors, validate_init_factors
 from ..linalg.objective import test_rmse
 from ..partition.partitioners import partition_worker_triplets
 from ..rng import RngFactory, derive_pyrandom
+from ..telemetry import (
+    C_BATCHES,
+    C_DRAINS,
+    C_IDLE_POLLS,
+    C_TOKENS,
+    C_UPDATES,
+    POINT_QUEUE_DEPTH,
+    Recorder,
+    RunTelemetry,
+    SPAN_HOP,
+    SPAN_IDLE,
+    SPAN_KERNEL,
+    WorkerTelemetry,
+    clock,
+)
 from .result import RuntimeResult, resolve_duration, resolve_run_settings
 
 __all__ = ["MultiprocessNomad", "MultiprocessResult"]
@@ -109,12 +124,20 @@ def _worker_main(
     mailboxes: list,
     stop_event,
     result_queue,
+    shm_times_name: str | None = None,
 ) -> None:
     """Entry point of one worker process (module-level for picklability).
 
     ``hyper`` travels as the :class:`~repro.config.HyperParams` dataclass
     itself — named field access instead of positional tuple unpacking, so
     a field reorder can never silently swap α and λ.
+
+    ``shm_times_name`` (set only when telemetry is enabled) names a third
+    shared block holding one :func:`~repro.telemetry.clock` stamp per
+    item: the token's most recent mailbox-put time, written by the
+    routing worker and read by the popping worker to produce cross-process
+    hop spans (``perf_counter`` reads ``CLOCK_MONOTONIC`` on Linux, so
+    stamps are comparable across the forked processes of one host).
     """
     alpha = hyper.alpha
     beta = hyper.beta
@@ -123,10 +146,21 @@ def _worker_main(
 
     shm_w = shared_memory.SharedMemory(name=shm_w_name)
     shm_h = shared_memory.SharedMemory(name=shm_h_name)
+    shm_times = (
+        shared_memory.SharedMemory(name=shm_times_name)
+        if shm_times_name is not None
+        else None
+    )
+    rec = Recorder(worker_id) if shm_times is not None else None
     updates = 0
     try:
         w = np.ndarray(shape_w, dtype=np.float64, buffer=shm_w.buf)
         h = np.ndarray(shape_h, dtype=np.float64, buffer=shm_h.buf)
+        put_times = (
+            np.ndarray((shape_h[0],), dtype=np.float64, buffer=shm_times.buf)
+            if shm_times is not None
+            else None
+        )
         shard = Shard(
             worker=worker_id,
             n_cols=shape_h[0],
@@ -140,8 +174,13 @@ def _worker_main(
 
         while True:
             try:
+                if rec is not None:
+                    poll_start = clock()
                 token = mailbox.get(timeout=_POLL_SECONDS)
             except queue_module.Empty:
+                if rec is not None:
+                    rec.span(SPAN_IDLE, poll_start, clock() - poll_start)
+                    rec.add(C_IDLE_POLLS)
                 if stop_event.is_set():
                     return
                 continue
@@ -153,6 +192,18 @@ def _worker_main(
                     burst.append(mailbox.get_nowait())
                 except queue_module.Empty:
                     break
+            if rec is not None:
+                now = clock()
+                try:
+                    depth = mailbox.qsize()
+                except NotImplementedError:  # macOS mp.Queue has no qsize
+                    depth = 0
+                rec.point(POINT_QUEUE_DEPTH, depth)
+                rec.add(C_DRAINS)
+                rec.add(C_TOKENS, len(burst))
+                for j in burst:
+                    arrived = put_times[j]
+                    rec.span(SPAN_HOP, arrived, now - arrived)
             h_cols: list = []
             col_users: list = []
             col_ratings: list = []
@@ -166,18 +217,42 @@ def _worker_main(
                     col_ratings.append(ratings)
                     col_counts.append(counts[lo:hi])
             if h_cols:
-                updates += backend.process_column_batch(
+                if rec is not None:
+                    kernel_start = clock()
+                applied = backend.process_column_batch(
                     w, h_cols, col_users, col_ratings, col_counts,
                     alpha, beta, lambda_,
                 )
+                updates += applied
+                if rec is not None:
+                    rec.span(
+                        SPAN_KERNEL, kernel_start, clock() - kernel_start,
+                        applied,
+                    )
+                    rec.add(C_UPDATES, applied)
+                    rec.add(C_BATCHES)
+            if rec is not None:
+                route_time = clock()
             for token in burst:
+                if rec is not None:
+                    put_times[token] = route_time
                 mailboxes[routing.randrange(n_workers)].put(token)
             if stop_event.is_set():
                 return
     finally:
-        result_queue.put((worker_id, updates))
+        # The telemetry snapshot rides the existing result channel as a
+        # plain dict (picklable, version-free: both ends are one fork).
+        result_queue.put(
+            (
+                worker_id,
+                updates,
+                rec.snapshot().to_dict() if rec is not None else None,
+            )
+        )
         shm_w.close()
         shm_h.close()
+        if shm_times is not None:
+            shm_times.close()
 
 
 def _release_blocks(blocks: list[shared_memory.SharedMemory]) -> None:
@@ -234,6 +309,13 @@ class MultiprocessNomad:
         and ``hyper.k``); the shared-memory blocks are seeded from them
         instead of the seed-determined initialization.  The caller's
         arrays are only read.
+    telemetry:
+        When true each worker process records token hops, queue depths,
+        kernel batches, and idle polls (:mod:`repro.telemetry`), ships
+        its snapshot back through the existing result queue, and the
+        result carries a merged :class:`~repro.telemetry.RunTelemetry`.
+        Enabling allocates one extra shared block (8 bytes per item)
+        for cross-process hop stamps; default off.
     """
 
     def __init__(
@@ -246,6 +328,7 @@ class MultiprocessNomad:
         kernel_backend: str | None = None,
         run: RunConfig | None = None,
         init_factors: FactorPair | None = None,
+        telemetry: bool = False,
     ):
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
@@ -267,6 +350,7 @@ class MultiprocessNomad:
                 init_factors, train.n_rows, train.n_cols, hyper.k
             )
         self._init_factors = init_factors
+        self.telemetry = bool(telemetry)
 
     def run(self, duration_seconds: float | None = None) -> MultiprocessResult:
         """Run the worker pool for ``duration_seconds`` of wall time.
@@ -301,6 +385,19 @@ class MultiprocessNomad:
             h_shared = np.ndarray(init.h.shape, np.float64, buffer=shm_h.buf)
             w_shared[:] = init.w
             h_shared[:] = init.h
+            shm_times = None
+            if self.telemetry:
+                # Third block: per-item mailbox-put stamps for the
+                # cross-process hop spans; released with the factor
+                # blocks by the same finally.
+                shm_times = shared_memory.SharedMemory(
+                    create=True, size=self.train.n_cols * 8
+                )
+                blocks.append(shm_times)
+                times_shared = np.ndarray(
+                    (self.train.n_cols,), np.float64, buffer=shm_times.buf
+                )
+                times_shared[:] = clock()
 
             context = _fork_context()
             mailboxes = [context.Queue() for _ in range(self.n_workers)]
@@ -332,12 +429,13 @@ class MultiprocessNomad:
                         mailboxes,
                         stop_event,
                         result_queue,
+                        shm_times.name if shm_times is not None else None,
                     ),
                     daemon=True,
                 )
                 processes.append(process)
 
-            started = time.perf_counter()
+            started = clock()
             for process in processes:
                 process.start()
             time.sleep(duration_seconds)
@@ -345,17 +443,22 @@ class MultiprocessNomad:
             # End of the parallel section: stamp the wall clock now, so
             # result collection and joins (each bounded by _JOIN_TIMEOUT)
             # can never inflate the reported parallel time.
-            wall = time.perf_counter() - started
+            wall = clock() - started
 
             per_worker = [0] * self.n_workers
+            snapshots: list[WorkerTelemetry] = []
             collected = 0
-            deadline = time.perf_counter() + _JOIN_TIMEOUT
-            while collected < self.n_workers and time.perf_counter() < deadline:
+            deadline = clock() + _JOIN_TIMEOUT
+            while collected < self.n_workers and clock() < deadline:
                 try:
-                    worker_id, n_updates = result_queue.get(timeout=0.25)
+                    worker_id, n_updates, snapshot = result_queue.get(
+                        timeout=0.25
+                    )
                 except queue_module.Empty:
                     continue
                 per_worker[worker_id] = n_updates
+                if snapshot is not None:
+                    snapshots.append(WorkerTelemetry.from_dict(snapshot))
                 collected += 1
 
             for process in processes:
@@ -363,7 +466,7 @@ class MultiprocessNomad:
                 if process.is_alive():
                     process.terminate()
                     process.join()
-            join_seconds = time.perf_counter() - started - wall
+            join_seconds = clock() - started - wall
 
             final = FactorPair(w_shared.copy(), h_shared.copy())
         finally:
@@ -376,4 +479,9 @@ class MultiprocessNomad:
             rmse=test_rmse(final, self.test),
             updates_per_worker=per_worker,
             join_seconds=join_seconds,
+            telemetry=(
+                RunTelemetry.from_workers(snapshots)
+                if self.telemetry
+                else None
+            ),
         )

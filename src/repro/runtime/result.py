@@ -105,6 +105,10 @@ class RuntimeResult:
     join_seconds:
         Shutdown overhead: sentinel delivery, result collection, and
         worker joins, reported separately from ``wall_seconds``.
+    telemetry:
+        Merged :class:`~repro.telemetry.RunTelemetry` when the run was
+        started with ``telemetry=True``, else ``None`` (typed loosely
+        to keep this module import-light).
     """
 
     factors: FactorPair
@@ -113,3 +117,4 @@ class RuntimeResult:
     rmse: float
     updates_per_worker: list[int]
     join_seconds: float = 0.0
+    telemetry: object | None = None

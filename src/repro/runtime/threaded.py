@@ -35,6 +35,20 @@ from ..linalg.factors import FactorPair, init_factors, validate_init_factors
 from ..linalg.objective import test_rmse
 from ..partition.partitioners import partition_rows_equal_ratings
 from ..rng import RngFactory
+from ..telemetry import (
+    C_BATCHES,
+    C_DRAINS,
+    C_IDLE_POLLS,
+    C_TOKENS,
+    C_UPDATES,
+    POINT_QUEUE_DEPTH,
+    Recorder,
+    RunTelemetry,
+    SPAN_HOP,
+    SPAN_IDLE,
+    SPAN_KERNEL,
+    clock,
+)
 from .result import RuntimeResult, resolve_duration, resolve_run_settings
 
 __all__ = ["ThreadedNomad", "ThreadedResult"]
@@ -97,6 +111,13 @@ class ThreadedNomad:
         Optional warm-start factors (validated against the train shape
         and ``hyper.k``); training starts from a private copy instead of
         the seed-determined initialization.
+    telemetry:
+        When true every worker thread records token hops, mailbox
+        drains, queue depths, kernel batches, and idle polls into a
+        per-worker :class:`~repro.telemetry.Recorder`, and the result
+        carries a merged :class:`~repro.telemetry.RunTelemetry`.
+        Default off; the disabled path costs one ``None`` check per
+        instrumentation site.
     """
 
     def __init__(
@@ -109,6 +130,7 @@ class ThreadedNomad:
         kernel_backend: str | None = None,
         run: RunConfig | None = None,
         init_factors: FactorPair | None = None,
+        telemetry: bool = False,
     ):
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
@@ -130,6 +152,7 @@ class ThreadedNomad:
                 init_factors, train.n_rows, train.n_cols, hyper.k
             )
         self._init_factors = init_factors
+        self.telemetry = bool(telemetry)
 
     def run(self, duration_seconds: float | None = None) -> ThreadedResult:
         """Run the worker pool for ``duration_seconds`` of wall time.
@@ -158,6 +181,22 @@ class ThreadedNomad:
         for j in range(self.train.n_cols):
             mailboxes[scatter_rng.randrange(self.n_workers)].put(j)
 
+        recorders = (
+            [Recorder(q) for q in range(self.n_workers)]
+            if self.telemetry
+            else None
+        )
+        # Hop stamps: put_times[j] is the clock() stamp of token j's most
+        # recent mailbox put, written by the routing worker and read by
+        # the popping worker.  No lock: a token has exactly one holder at
+        # a time, so per token the write happens-before the read (the
+        # mailbox put/get pair is the synchronization edge).
+        put_times = (
+            np.full(self.train.n_cols, clock(), dtype=np.float64)
+            if self.telemetry
+            else None
+        )
+
         stop = threading.Event()
         update_totals = [0] * self.n_workers
 
@@ -170,10 +209,16 @@ class ThreadedNomad:
             hyper = self.hyper
             backend = self.backend
             mailbox = mailboxes[q]
+            rec = recorders[q] if recorders is not None else None
             while True:
                 try:
+                    if rec is not None:
+                        poll_start = clock()
                     token = mailbox.get(timeout=_POLL_SECONDS)
                 except queue.Empty:
+                    if rec is not None:
+                        rec.span(SPAN_IDLE, poll_start, clock() - poll_start)
+                        rec.add(C_IDLE_POLLS)
                     if stop.is_set():
                         return
                     continue
@@ -192,6 +237,14 @@ class ThreadedNomad:
                         saw_stop = True
                         break
                     burst.append(extra)
+                if rec is not None:
+                    now = clock()
+                    rec.point(POINT_QUEUE_DEPTH, mailbox.qsize())
+                    rec.add(C_DRAINS)
+                    rec.add(C_TOKENS, len(burst))
+                    for j in burst:
+                        arrived = put_times[j]
+                        rec.span(SPAN_HOP, arrived, now - arrived)
                 h_cols: list = []
                 col_users: list = []
                 col_ratings: list = []
@@ -205,7 +258,9 @@ class ThreadedNomad:
                         col_ratings.append(ratings)
                         col_counts.append(my_counts[lo:hi])
                 if h_cols:
-                    update_totals[q] += backend.process_column_batch(
+                    if rec is not None:
+                        kernel_start = clock()
+                    applied = backend.process_column_batch(
                         w,
                         h_cols,
                         col_users,
@@ -215,9 +270,23 @@ class ThreadedNomad:
                         hyper.beta,
                         hyper.lambda_,
                     )
+                    update_totals[q] += applied
+                    if rec is not None:
+                        rec.span(
+                            SPAN_KERNEL,
+                            kernel_start,
+                            clock() - kernel_start,
+                            applied,
+                        )
+                        rec.add(C_UPDATES, applied)
+                        rec.add(C_BATCHES)
                 # Route every drained token onward so none is lost, even
                 # when stopping.
+                if rec is not None:
+                    route_time = clock()
                 for token in burst:
+                    if rec is not None:
+                        put_times[token] = route_time
                     mailboxes[routing.randrange(self.n_workers)].put(token)
                 if saw_stop or stop.is_set():
                     return
@@ -226,7 +295,7 @@ class ThreadedNomad:
             threading.Thread(target=worker, args=(q,), name=f"nomad-{q}")
             for q in range(self.n_workers)
         ]
-        started = time.perf_counter()
+        started = clock()
         for thread in threads:
             thread.start()
         time.sleep(duration_seconds)
@@ -234,12 +303,12 @@ class ThreadedNomad:
         # The parallel section ends at the stop signal; everything after
         # (sentinel delivery, joins) is shutdown overhead reported apart
         # so wall_seconds stays an honest throughput denominator.
-        wall = time.perf_counter() - started
+        wall = clock() - started
         for mailbox in mailboxes:
             mailbox.put(_STOP)
         for thread in threads:
             thread.join()
-        join_seconds = time.perf_counter() - started - wall
+        join_seconds = clock() - started - wall
 
         return ThreadedResult(
             factors=factors,
@@ -248,4 +317,11 @@ class ThreadedNomad:
             rmse=test_rmse(factors, self.test),
             updates_per_worker=list(update_totals),
             join_seconds=join_seconds,
+            telemetry=(
+                RunTelemetry.from_workers(
+                    [recorder.snapshot() for recorder in recorders]
+                )
+                if recorders is not None
+                else None
+            ),
         )

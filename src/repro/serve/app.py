@@ -27,7 +27,15 @@ Routes (all JSON, schemas in :mod:`repro.serve.schemas`):
 * ``POST /ratings`` — batch ingest (idempotent: already-rated cells are
   counted as duplicates and skipped, never re-queued — the trainer
   treats a duplicate arrival as corruption, so the edge filters them);
-* ``GET /stats`` — request, cache, ingest, and trainer counters.
+* ``GET /stats`` — request, cache, ingest, and trainer counters, plus
+  per-route latency quantiles (p50/p95/p99);
+* ``GET /metrics`` — the same counters in Prometheus text exposition
+  (the one non-JSON route), scrape-ready.
+
+Every dispatched request lands in a per-route latency
+:class:`~repro.telemetry.Histogram` and as a ``SPAN_HTTP`` event in the
+service's :class:`~repro.telemetry.Recorder` (single-writer discipline
+held by recording under the requests lock).
 
 Restart story: with ``persist_dir`` set, every rotation lands on disk
 and a new process resumes serving from the newest persisted snapshot
@@ -54,6 +62,13 @@ from ..linalg.factors import FactorPair
 from ..stream.serve import Recommender
 from ..stream.snapshots import PrequentialTrace, SnapshotStore
 from ..stream.sources import QueueStream
+from ..telemetry import SPAN_HTTP, Histogram, Recorder, clock
+from ..telemetry.prometheus import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+    Metric,
+    Sample,
+    render,
+)
 from .cache import LruCache
 from .persistence import DurablePrequentialTrace, DurableSnapshotStore
 from .schemas import (
@@ -192,6 +207,11 @@ class RecommendationService:
         self._recommend_lock = threading.Lock()
         self._requests_lock = threading.Lock()
         self._requests: dict[str, int] = {}
+        # Per-route latency histograms and the service's SPAN_HTTP
+        # recorder; handler threads write both under _requests_lock,
+        # which supplies the recorder's single-writer discipline.
+        self._latency: dict[str, Histogram] = {}
+        self.recorder = Recorder(0)
 
         self._httpd: ThreadingHTTPServer | None = None
         self._server_thread: threading.Thread | None = None
@@ -346,16 +366,18 @@ class RecommendationService:
         path: str,
         params: dict[str, list[str]],
         body: bytes,
-    ) -> tuple[int, dict]:
+    ) -> tuple[int, dict | str]:
         """Route one request to its handler; returns (status, payload).
 
+        A ``dict`` payload goes out as JSON; a ``str`` payload (the
+        ``/metrics`` exposition) goes out verbatim as Prometheus text.
         :class:`~repro.errors.ServeError` (and the library's config/data
         errors, e.g. a cold-start rejection) map to 400; anything else
         the HTTP layer turns into 500.
         """
         route = path.rstrip("/") or "/"
+        key = f"{method} {route}"
         with self._requests_lock:
-            key = f"{method} {route}"
             self._requests[key] = self._requests.get(key, 0) + 1
         handlers = {
             ("GET", "/health"): lambda: self._handle_health(),
@@ -363,6 +385,7 @@ class RecommendationService:
             ("GET", "/predict"): lambda: self._handle_predict(params),
             ("GET", "/recommend"): lambda: self._handle_recommend(params),
             ("GET", "/stats"): lambda: self._handle_stats(),
+            ("GET", "/metrics"): lambda: self._handle_metrics(),
             ("POST", "/ratings"): lambda: self._handle_ingest(body),
         }
         handler = handlers.get((method, route))
@@ -373,7 +396,26 @@ class RecommendationService:
                     f"method {method} not allowed on {route}", 405
                 ).to_payload()
             return 404, ErrorResponse(f"no such route: {route}", 404).to_payload()
-        return handler()
+        started = clock()
+        try:
+            status, payload = handler()
+        except Exception:
+            self._observe(key, started, 500)
+            raise
+        self._observe(key, started, status)
+        return status, payload
+
+    def _observe(self, route_key: str, started: float, status: int) -> None:
+        """Fold one handled request into the route's latency histogram
+        and the service recorder."""
+        elapsed = clock() - started
+        with self._requests_lock:
+            histogram = self._latency.get(route_key)
+            if histogram is None:
+                histogram = Histogram()
+                self._latency[route_key] = histogram
+            histogram.add(elapsed)
+            self.recorder.span(SPAN_HTTP, started, elapsed, status)
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -464,6 +506,14 @@ class RecommendationService:
     def _handle_stats(self) -> tuple[int, dict]:
         with self._requests_lock:
             requests = dict(self._requests)
+            latency = {
+                route: {
+                    "count": histogram.count,
+                    "mean": histogram.mean,
+                    **histogram.quantiles(),
+                }
+                for route, histogram in self._latency.items()
+            }
         with self._recommend_lock:
             recommender_cache = self.recommender.cache_stats.as_dict()
         with self._ingest_lock:
@@ -484,11 +534,124 @@ class RecommendationService:
             rotations=self.store.rotations,
             uptime_seconds=self.uptime_seconds,
             requests=requests,
+            latency=latency,
             request_cache=self.cache.stats_payload(),
             recommender_cache=recommender_cache,
             ingest=ingest,
             trainer=trainer,
         ).to_payload()
+
+    #: /stats quantile keys -> Prometheus ``quantile`` label values.
+    _QUANTILE_LABELS = {"p50": "0.5", "p95": "0.95", "p99": "0.99"}
+
+    def _handle_metrics(self) -> tuple[int, str]:
+        """``GET /metrics`` — Prometheus text exposition.
+
+        Unversioned by design (the exposition format is its own
+        contract); everything here also appears in ``/stats`` as JSON.
+        """
+        with self._requests_lock:
+            requests = dict(self._requests)
+            latency = {
+                route: (histogram.count, histogram.total, histogram.quantiles())
+                for route, histogram in self._latency.items()
+            }
+        cache = self.cache.stats_payload()
+        with self._ingest_lock:
+            accepted = self._ingest_accepted
+            duplicates = self._ingest_duplicates
+        lookups = cache["hits"] + cache["misses"]
+        hit_rate = cache["hits"] / lookups if lookups else 0.0
+        quantile_samples = [
+            Sample(value, {"route": route, "quantile": label})
+            for route, (_, _, quantiles) in sorted(latency.items())
+            for key, label in self._QUANTILE_LABELS.items()
+            for value in (quantiles[key],)
+        ]
+        metrics = [
+            Metric(
+                "repro_serve_requests_total",
+                "counter",
+                "HTTP requests dispatched, by method and route.",
+                [
+                    Sample(count, {"route": route})
+                    for route, count in sorted(requests.items())
+                ],
+            ),
+            Metric(
+                "repro_serve_request_latency_seconds",
+                "gauge",
+                "Per-route request latency quantiles, in seconds.",
+                quantile_samples,
+            ),
+            Metric(
+                "repro_serve_request_latency_seconds_sum",
+                "counter",
+                "Total seconds spent handling requests, by route.",
+                [
+                    Sample(total, {"route": route})
+                    for route, (_, total, _) in sorted(latency.items())
+                ],
+            ),
+            Metric(
+                "repro_serve_request_latency_seconds_count",
+                "counter",
+                "Requests measured into the latency histogram, by route.",
+                [
+                    Sample(count, {"route": route})
+                    for route, (count, _, _) in sorted(latency.items())
+                ],
+            ),
+            Metric(
+                "repro_serve_cache_hit_rate",
+                "gauge",
+                "Request-cache hit rate since start (hits / lookups).",
+                [Sample(hit_rate)],
+            ),
+            Metric(
+                "repro_serve_cache_hits_total",
+                "counter",
+                "Request-cache hits since start.",
+                [Sample(cache["hits"])],
+            ),
+            Metric(
+                "repro_serve_cache_misses_total",
+                "counter",
+                "Request-cache misses since start.",
+                [Sample(cache["misses"])],
+            ),
+            Metric(
+                "repro_serve_snapshot_seq",
+                "gauge",
+                "Sequence number of the serving snapshot.",
+                [Sample(self.store.latest.seq)],
+            ),
+            Metric(
+                "repro_serve_snapshot_rotations_total",
+                "counter",
+                "Snapshot rotations since start.",
+                [Sample(self.store.rotations)],
+            ),
+            Metric(
+                "repro_serve_ingest_accepted_total",
+                "counter",
+                "Ratings accepted for training.",
+                [Sample(accepted)],
+            ),
+            Metric(
+                "repro_serve_ingest_duplicates_total",
+                "counter",
+                "Duplicate ratings rejected at the edge.",
+                [Sample(duplicates)],
+            ),
+            Metric(
+                "repro_serve_uptime_seconds",
+                "gauge",
+                "Seconds since the service started.",
+                [Sample(self.uptime_seconds)],
+            ),
+        ]
+        return 200, render(metrics)
 
 
 def _build_handler(service: RecommendationService):
@@ -508,10 +671,15 @@ def _build_handler(service: RecommendationService):
         def log_message(self, format, *args):  # noqa: A002 - stdlib name
             pass  # request logging is the /stats endpoint's job
 
-        def _respond(self, status: int, payload: dict) -> None:
-            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        def _respond(self, status: int, payload: dict | str) -> None:
+            if isinstance(payload, str):  # /metrics: Prometheus text
+                body = payload.encode("utf-8")
+                content_type = PROMETHEUS_CONTENT_TYPE
+            else:
+                body = json.dumps(payload, sort_keys=True).encode("utf-8")
+                content_type = "application/json"
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)

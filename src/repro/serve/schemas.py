@@ -40,7 +40,9 @@ __all__ = [
 
 #: Wire-contract version stamped into every response body.  History:
 #:   1 — initial contract (health/snapshot/predict/recommend/ratings/stats).
-SCHEMA_VERSION = 1
+#:   2 — ``GET /metrics`` (Prometheus text, unversioned by design) and a
+#:       per-route ``latency`` quantile block in ``/stats``.
+SCHEMA_VERSION = 2
 
 #: Largest ``n`` a recommend request may ask for.
 MAX_TOP_N = 1000
@@ -341,12 +343,18 @@ class IngestResponse:
 
 @dataclass(frozen=True)
 class StatsResponse:
-    """``GET /stats`` — service observability counters."""
+    """``GET /stats`` — service observability counters.
+
+    ``latency`` (schema v2) maps each ``"METHOD /route"`` key of
+    ``requests`` to ``{"count", "mean", "p50", "p95", "p99"}`` seconds,
+    from the service's per-route latency histograms.
+    """
 
     serving_seq: int
     rotations: int
     uptime_seconds: float
     requests: dict
+    latency: dict
     request_cache: dict
     recommender_cache: dict
     ingest: dict
@@ -359,6 +367,7 @@ class StatsResponse:
                 "rotations": self.rotations,
                 "uptime_seconds": round(self.uptime_seconds, 3),
                 "requests": dict(self.requests),
+                "latency": dict(self.latency),
                 "request_cache": dict(self.request_cache),
                 "recommender_cache": dict(self.recommender_cache),
                 "ingest": dict(self.ingest),

@@ -47,6 +47,16 @@ from ..linalg.factors import (
 from ..partition.assignments import OwnershipLedger
 from ..partition.partitioners import partition_rows_equal_ratings
 from ..rng import RngFactory
+from ..telemetry import (
+    C_TOKENS,
+    C_UPDATES,
+    POINT_QUEUE_DEPTH,
+    Recorder,
+    SPAN_INGEST,
+    SPAN_KERNEL,
+    SPAN_SWEEP,
+    clock,
+)
 from .sources import RatingEvent
 
 __all__ = ["DeltaStore", "DynamicNomad"]
@@ -204,6 +214,7 @@ class DynamicNomad:
         init_factors: FactorPair | None = None,
         policy: RecipientPolicy | None = None,
         count_cap: int | None = None,
+        telemetry: bool = False,
     ):
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
@@ -290,6 +301,13 @@ class DynamicNomad:
         self._new_users = 0
         self._new_items = 0
 
+        # The dynamic runtime is in-process and single-threaded, so one
+        # recorder covers the whole trainer: sweep/kernel/ingest spans
+        # plus a queue-depth point per worker at each sweep start.  The
+        # streaming facade also records its rotation spans here, keeping
+        # the trainer's whole life on one timeline.
+        self.recorder = Recorder(0) if telemetry else None
+
     # ------------------------------------------------------------------
     # State
     # ------------------------------------------------------------------
@@ -372,6 +390,9 @@ class DynamicNomad:
             raise DataError(
                 f"duplicate arrival for already-rated cell ({user}, {item})"
             )
+        rec = self.recorder
+        if rec is not None:
+            ingest_start = clock()
         if user >= self._n_users:
             self._grow_users(user + 1)
         if item >= self._n_items:
@@ -382,6 +403,8 @@ class DynamicNomad:
         self._col_ratings[owner][item].append(value)
         self._col_counts[owner][item].append(0)
         self._worker_load[owner] += 1
+        if rec is not None:
+            rec.span(SPAN_INGEST, ingest_start, clock() - ingest_start, 1)
 
     def _grow_users(self, n_users: int) -> None:
         bound = 1.0 / np.sqrt(self.hyper.k)
@@ -440,6 +463,11 @@ class DynamicNomad:
         holds.
         """
         p = self.n_workers
+        rec = self.recorder
+        if rec is not None:
+            sweep_start = clock()
+            for q in range(p):
+                rec.point(POINT_QUEUE_DEPTH, len(self._queues[q]))
         plan: list[tuple[int, list[int]]] = []
         for q in range(p):
             while self._queues[q]:
@@ -502,10 +530,18 @@ class DynamicNomad:
                 col_ratings.append(self._col_ratings[stop][j])
                 col_counts.append(self._col_counts[stop][j])
             if h_cols:
-                applied += self.backend.process_column_batch(
+                if rec is not None:
+                    kernel_start = clock()
+                round_applied = self.backend.process_column_batch(
                     self._w, h_cols, col_users, col_ratings, col_counts,
                     hyper.alpha, hyper.beta, hyper.lambda_,
                 )
+                applied += round_applied
+                if rec is not None:
+                    rec.span(
+                        SPAN_KERNEL, kernel_start, clock() - kernel_start,
+                        round_applied,
+                    )
                 for stop, users, counts in zip(
                     round_stops, col_users, col_counts
                 ):
@@ -521,6 +557,10 @@ class DynamicNomad:
             self._ledger.acquire(j, dest)
         self._ledger.assert_conserved()
         self._total_updates += applied
+        if rec is not None:
+            rec.span(SPAN_SWEEP, sweep_start, clock() - sweep_start, applied)
+            rec.add(C_UPDATES, applied)
+            rec.add(C_TOKENS, len(plan))
         return applied
 
     def train(self, epochs: int, max_updates: int | None = None) -> int:

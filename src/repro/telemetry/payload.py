@@ -1,0 +1,62 @@
+"""Versioned telemetry payload: the blob a cluster Fin frame carries.
+
+The wire layer (:mod:`repro.cluster.wire`) treats worker telemetry as
+opaque bytes attached to a ``Fin`` frame; this module owns the bytes'
+meaning.  The blob is self-describing — a magic + version prefix ahead
+of a JSON-encoded :class:`~repro.telemetry.recorder.WorkerTelemetry` —
+so version skew degrades gracefully: a coordinator that sees a payload
+version it does not understand collects the run *without* that worker's
+telemetry instead of failing the run (telemetry is diagnostics, never
+load-bearing).  Corrupt bytes of a version we *do* claim to understand
+raise, because that indicates frame damage, not skew.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ClusterError
+from .recorder import WorkerTelemetry
+
+__all__ = [
+    "PAYLOAD_MAGIC",
+    "PAYLOAD_VERSION",
+    "MAX_PAYLOAD_EVENTS",
+    "decode_payload",
+    "encode_payload",
+]
+
+PAYLOAD_MAGIC = b"NT"
+PAYLOAD_VERSION = 1
+
+#: Event cap per shipped payload: keeps the Fin frame far under the
+#: transport's 64 MiB frame ceiling even at maximum ring capacity.
+#: Oldest events are dropped first (the interesting tail is the recent
+#: steady state); the drop is added to ``dropped`` so it stays visible.
+MAX_PAYLOAD_EVENTS = 8192
+
+
+def encode_payload(telemetry: WorkerTelemetry) -> bytes:
+    """Serialize one worker's telemetry for the Fin frame."""
+    if len(telemetry.events) > MAX_PAYLOAD_EVENTS:
+        telemetry = WorkerTelemetry(
+            worker_id=telemetry.worker_id,
+            counters=telemetry.counters,
+            events=telemetry.events[-MAX_PAYLOAD_EVENTS:],
+            dropped=telemetry.dropped
+            + (len(telemetry.events) - MAX_PAYLOAD_EVENTS),
+        )
+    body = json.dumps(telemetry.to_dict(), separators=(",", ":"))
+    return PAYLOAD_MAGIC + bytes([PAYLOAD_VERSION]) + body.encode("utf-8")
+
+
+def decode_payload(blob: bytes) -> WorkerTelemetry | None:
+    """Decode a Fin telemetry blob; ``None`` on unknown magic/version."""
+    if len(blob) < 3 or blob[:2] != PAYLOAD_MAGIC:
+        return None
+    if blob[2] != PAYLOAD_VERSION:
+        return None
+    try:
+        return WorkerTelemetry.from_dict(json.loads(blob[3:].decode("utf-8")))
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        raise ClusterError(f"corrupt telemetry payload: {exc}") from exc

@@ -1,0 +1,71 @@
+"""Minimal Prometheus text-exposition renderer (no client library).
+
+The serve layer needs exactly the text format a Prometheus scrape
+expects — ``# HELP`` / ``# TYPE`` comments followed by
+``name{label="value"} number`` samples — and nothing else.  This module
+renders it from plain data so ``serve/app.py`` never concatenates
+exposition syntax inline.  Format reference:
+https://prometheus.io/docs/instrumenting/exposition_formats/
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Metric", "Sample", "render"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One sample line: optional labels, one numeric value."""
+
+    value: float
+    labels: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One metric family: name, type, help text, samples."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "summary"
+    help: str
+    samples: list[Sample]
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    return repr(float(value))
+
+
+def _sample_line(name: str, sample: Sample) -> str:
+    if not sample.labels:
+        return f"{name} {_format_value(sample.value)}"
+    labels = ",".join(
+        f'{key}="{_escape(str(val))}"' for key, val in sorted(sample.labels.items())
+    )
+    return f"{name}{{{labels}}} {_format_value(sample.value)}"
+
+
+def render(metrics: list[Metric]) -> str:
+    """Render metric families to one exposition document."""
+    lines: list[str] = []
+    for metric in metrics:
+        lines.append(f"# HELP {metric.name} {_escape(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for sample in metric.samples:
+            lines.append(_sample_line(metric.name, sample))
+    return "\n".join(lines) + "\n"

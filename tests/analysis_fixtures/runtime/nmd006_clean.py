@@ -1,0 +1,21 @@
+"""NMD006 negative fixture: span stamps routed through the telemetry
+clock; monotonic stays fine for deadlines."""
+
+import time
+
+from repro.telemetry import clock
+
+
+def timed_hop(recorder, token):
+    start = clock()
+    token.deliver()
+    recorder.span(1, start, clock() - start)
+
+
+def deadline_poll(event, seconds):
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        if event.is_set():
+            return True
+        time.sleep(0.01)
+    return False

@@ -1,0 +1,10 @@
+"""NMD006 positive fixture: direct perf_counter span timing in a
+runtime/ module, bypassing the telemetry recorder's clock."""
+
+import time
+
+
+def timed_hop(recorder, token):
+    start = time.perf_counter()  # NMD006: span stamp off the sanctioned clock
+    token.deliver()
+    recorder.span(1, start, time.perf_counter() - start)  # NMD006

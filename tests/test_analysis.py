@@ -41,6 +41,7 @@ ALL_CODES = (
     "NMD003",
     "NMD004",
     "NMD005",
+    "NMD006",
     "NMD101",
     "NMD102",
     "NMD103",
@@ -54,6 +55,7 @@ FIXTURE_PAIRS = {
     "NMD003": ("nmd003_flagged.py", 2, "nmd003_clean.py"),
     "NMD004": ("nmd004_flagged.py", 2, "nmd004_clean.py"),
     "NMD005": ("runtime/nmd005_flagged.py", 2, "runtime/nmd005_clean.py"),
+    "NMD006": ("runtime/nmd006_flagged.py", 2, "runtime/nmd006_clean.py"),
     "NMD101": ("nmd101_flagged.py", 2, "nmd101_clean.py"),
     "NMD102": ("nmd102_flagged.py", 3, "nmd102_clean.py"),
     "NMD103": ("nmd103_flagged.py", 3, "nmd103_clean.py"),

@@ -120,6 +120,25 @@ class TestControlFrames:
         assert isinstance(wire.decode(wire.encode_stop()), wire.Stop)
         assert wire.decode(wire.encode_fin(2)) == wire.Fin(worker_id=2)
 
+    def test_fin_telemetry_round_trip(self):
+        blob = b"NT\x01" + b'{"worker_id": 3}'
+        decoded = wire.decode(wire.encode_fin(3, telemetry=blob))
+        assert decoded == wire.Fin(worker_id=3, telemetry=blob)
+
+    def test_fin_telemetry_truncation_rejected(self):
+        frame = wire.encode_fin(1, telemetry=b"x" * 64)
+        for cut in (len(frame) - 1, len(frame) - 40, len(frame) - 66):
+            with pytest.raises(WireError, match="truncated"):
+                wire.decode(frame[:cut])
+
+    def test_legacy_fin_without_payload_decodes_none(self):
+        """Version skew: a pre-telemetry Fin frame (no trailing block)
+        must keep decoding, with telemetry absent rather than an error."""
+        legacy = wire.encode_fin(4)
+        decoded = wire.decode(legacy)
+        assert decoded.worker_id == 4
+        assert decoded.telemetry is None
+
     def test_result_round_trip(self):
         rng = np.random.default_rng(5)
         rows = np.array([4, 9, 17], dtype=np.int64)

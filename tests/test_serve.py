@@ -101,6 +101,32 @@ def http_post(url: str, payload) -> tuple[int, dict]:
         return response.status, json.loads(response.read())
 
 
+def http_get_text(url: str) -> tuple[int, str, str]:
+    """Raw fetch for non-JSON routes (/metrics is Prometheus text)."""
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type", ""),
+            response.read().decode("utf-8"),
+        )
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse a text-format exposition into ``{'name{labels}': value}``.
+
+    Strict enough to catch format regressions: every non-comment line
+    must be ``name[{labels}] value``.
+    """
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        assert key, f"malformed sample line: {line!r}"
+        samples[key] = float(value)
+    return samples
+
+
 def http_error(callable_, *args):
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         callable_(*args)
@@ -562,6 +588,78 @@ class TestService:
     def test_double_start_rejected(self, service):
         with pytest.raises(ServeError, match="already started"):
             service.start()
+
+
+class TestObservability:
+    """PR 10 acceptance: /metrics scrapes as Prometheus text and /stats
+    carries per-route latency quantiles."""
+
+    def test_metrics_scrape_parses(self, service):
+        http_get(service.url + "/predict?user=1&item=2")
+        http_get(service.url + "/recommend?user=1&n=3")
+        http_get(service.url + "/recommend?user=1&n=3")  # cache hit
+
+        status, content_type, text = http_get_text(service.url + "/metrics")
+        assert status == 200
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        assert text.endswith("\n")
+
+        samples = parse_prometheus(text)
+        assert samples['repro_serve_requests_total{route="GET /predict"}'] == 1
+        assert samples['repro_serve_requests_total{route="GET /recommend"}'] == 2
+
+        # Per-route latency quantiles plus the sum/count pair.
+        for quantile in ("0.5", "0.95", "0.99"):
+            key = (
+                "repro_serve_request_latency_seconds"
+                f'{{quantile="{quantile}",route="GET /predict"}}'
+            )
+            assert samples[key] >= 0.0
+        assert (
+            samples[
+                'repro_serve_request_latency_seconds_count{route="GET /predict"}'
+            ]
+            == 1
+        )
+
+        # Cache hit rate: 1 hit / (1 hit + 1 miss) on /recommend.
+        assert samples["repro_serve_cache_hit_rate"] == pytest.approx(0.5)
+        assert samples["repro_serve_cache_hits_total"] == 1
+        assert samples["repro_serve_cache_misses_total"] == 1
+
+        assert samples["repro_serve_snapshot_seq"] == service.store.latest.seq
+        assert samples["repro_serve_uptime_seconds"] > 0.0
+
+        # Every sample family is documented: one HELP and one TYPE per name.
+        for name in ("repro_serve_requests_total", "repro_serve_cache_hit_rate"):
+            assert f"# HELP {name} " in text
+            assert f"# TYPE {name} " in text
+
+    def test_metrics_scrape_counts_itself(self, service):
+        http_get_text(service.url + "/metrics")
+        _, _, text = http_get_text(service.url + "/metrics")
+        samples = parse_prometheus(text)
+        # The request counter ticks on dispatch entry, so the in-flight
+        # scrape sees itself; latency is observed only after responding.
+        assert samples['repro_serve_requests_total{route="GET /metrics"}'] == 2
+        assert (
+            samples[
+                'repro_serve_request_latency_seconds_count{route="GET /metrics"}'
+            ]
+            == 1
+        )
+
+    def test_stats_latency_quantiles(self, service):
+        http_get(service.url + "/predict?user=1&item=2")
+        _, stats = http_get(service.url + "/stats")
+        latency = stats["latency"]
+        predict = latency["GET /predict"]
+        assert predict["count"] == 1
+        assert predict["mean"] > 0.0
+        assert predict["p50"] <= predict["p95"] <= predict["p99"]
+        # /stats itself is observed, but only after it responds: the
+        # in-flight request is not yet in its own latency block.
+        assert "GET /stats" not in latency or latency["GET /stats"]["count"] >= 0
 
 
 class TestServiceRestart:
